@@ -1,0 +1,193 @@
+// Command dyncg runs any of the paper's algorithms on a generated
+// workload and reports the answer together with the simulated parallel
+// running time on the chosen machine.
+//
+// Examples:
+//
+//	go run ./cmd/dyncg -algo closest -n 32 -k 2
+//	go run ./cmd/dyncg -algo collisions -workload converging -n 24 -topo mesh
+//	go run ./cmd/dyncg -algo hullmember -n 12 -origin 3
+//	go run ./cmd/dyncg -algo containment -d 3 -dims 12,12,12
+//	go run ./cmd/dyncg -algo steady-hull -workload diverging -n 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyncg/internal/core"
+	"dyncg/internal/machine"
+	"dyncg/internal/motion"
+)
+
+var (
+	algo     = flag.String("algo", "closest", "algorithm: closest|farthest|collisions|hullmember|containment|cube-edge|smallest-cube|steady-nn|steady-cp|steady-hull|steady-farthest|steady-rect")
+	n        = flag.Int("n", 16, "number of moving points")
+	k        = flag.Int("k", 1, "motion degree bound")
+	d        = flag.Int("d", 2, "dimension (planar algorithms need 2)")
+	topo     = flag.String("topo", "hypercube", "machine topology: mesh|hypercube")
+	workload = flag.String("workload", "random", "workload: random|converging|diverging|circle")
+	origin   = flag.Int("origin", 0, "query point index")
+	dims     = flag.String("dims", "10,10", "hyper-rectangle side lengths (containment)")
+	seed     = flag.Int64("seed", 1, "RNG seed")
+)
+
+func main() {
+	flag.Parse()
+	r := rand.New(rand.NewSource(*seed))
+	var sys *motion.System
+	switch *workload {
+	case "random":
+		sys = motion.Random(r, *n, *k, *d, 10)
+	case "converging":
+		sys = motion.Converging(r, *n)
+	case "diverging":
+		sys = motion.Diverging(r, *n)
+	case "circle":
+		sys = motion.OnCircle(*n, 10)
+	default:
+		fatal("unknown workload %q", *workload)
+	}
+	fmt.Printf("workload: %s, n=%d, k=%d, d=%d, machine=%s\n",
+		*workload, sys.N(), sys.K, sys.D, *topo)
+
+	mkFor := func(s int) *machine.M {
+		if *topo == "mesh" {
+			return core.MeshFor(sys.N(), s)
+		}
+		return core.CubeFor(sys.N(), s)
+	}
+	mkOf := func(sz int) *machine.M {
+		if *topo == "mesh" {
+			return core.MeshOf(sz)
+		}
+		return core.CubeOf(sz)
+	}
+
+	var m *machine.M
+	switch *algo {
+	case "closest", "farthest":
+		m = mkFor(2 * maxi(sys.K, 1))
+		var seq []core.NeighborEvent
+		var err error
+		if *algo == "closest" {
+			seq, err = core.ClosestPointSequence(m, sys, *origin)
+		} else {
+			seq, err = core.FarthestPointSequence(m, sys, *origin)
+		}
+		check(err)
+		fmt.Printf("%s-point sequence for P%d:\n", *algo, *origin)
+		for _, ev := range seq {
+			fmt.Printf("  P%-3d on %s\n", ev.Point, ivString(ev.Lo, ev.Hi))
+		}
+	case "collisions":
+		m = mkOf(8 * sys.N())
+		cs, err := core.CollisionTimes(m, sys, *origin)
+		check(err)
+		fmt.Printf("%d collisions involving P%d:\n", len(cs), *origin)
+		for _, c := range cs {
+			fmt.Printf("  t=%.4f with P%d\n", c.T, c.B)
+		}
+	case "hullmember":
+		m = mkFor(4*maxi(sys.K, 1) + 2)
+		ivs, err := core.HullVertexIntervals(m, sys, *origin)
+		check(err)
+		fmt.Printf("P%d is a hull vertex during:\n", *origin)
+		for _, iv := range ivs {
+			fmt.Printf("  %s\n", ivString(iv.Lo, iv.Hi))
+		}
+	case "containment":
+		box := parseDims(*dims)
+		m = mkFor(sys.K + 2)
+		ivs, err := core.ContainmentIntervals(m, sys, box)
+		check(err)
+		fmt.Printf("system fits in %v during:\n", box)
+		for _, iv := range ivs {
+			fmt.Printf("  %s\n", ivString(iv.Lo, iv.Hi))
+		}
+	case "cube-edge":
+		m = mkFor(sys.K + 2)
+		dfn, err := core.SmallestHypercubeEdge(m, sys)
+		check(err)
+		fmt.Printf("D(t) has %d pieces:\n", len(dfn))
+		for _, p := range dfn {
+			fmt.Printf("  %s on %s\n", p.F, ivString(p.Lo, p.Hi))
+		}
+	case "smallest-cube":
+		m = mkFor(sys.K + 2)
+		dmin, tmin, err := core.SmallestEverHypercube(m, sys)
+		check(err)
+		fmt.Printf("smallest-ever bounding hypercube: edge %.4f at t=%.4f\n", dmin, tmin)
+	case "steady-nn":
+		m = mkOf(sys.N())
+		nn, err := core.SteadyNearestNeighbor(m, sys, *origin, false)
+		check(err)
+		fmt.Printf("steady-state nearest neighbour of P%d: P%d\n", *origin, nn)
+	case "steady-cp":
+		m = mkOf(4 * sys.N())
+		a, b, err := core.SteadyClosestPair(m, sys)
+		check(err)
+		fmt.Printf("steady-state closest pair: P%d, P%d\n", a, b)
+	case "steady-hull":
+		m = mkOf(8 * sys.N())
+		hull, err := core.SteadyHull(m, sys)
+		check(err)
+		fmt.Printf("steady-state hull (%d vertices, CCW): %v\n", len(hull), hull)
+	case "steady-farthest":
+		m = mkOf(8 * sys.N())
+		a, b, d2, err := core.SteadyFarthestPair(m, sys)
+		check(err)
+		fmt.Printf("steady-state farthest pair: P%d, P%d with d²(t) = %v\n", a, b, d2)
+	case "steady-rect":
+		m = mkOf(8 * sys.N())
+		rect, err := core.SteadyMinAreaRect(m, sys)
+		check(err)
+		fmt.Printf("steady-state min-area rectangle: base on hull edge %d, area(t) = %v\n",
+			rect.Edge, rect.Area)
+	default:
+		fatal("unknown algorithm %q", *algo)
+	}
+	fmt.Printf("\nsimulated parallel time on %s: %v\n", m.Topology().Name(), m.Stats())
+}
+
+func ivString(lo, hi float64) string {
+	h := "∞"
+	if !math.IsInf(hi, 1) {
+		h = fmt.Sprintf("%.4f", hi)
+	}
+	return fmt.Sprintf("[%.4f, %s]", lo, h)
+}
+
+func parseDims(s string) []float64 {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		check(err)
+		out[i] = v
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dyncg: "+format+"\n", args...)
+	os.Exit(1)
+}

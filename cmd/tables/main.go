@@ -1,0 +1,481 @@
+// Command tables regenerates, in human-readable form, every table and
+// figure of the paper's evaluation (Tables 1–4, Figures 1–4) plus the
+// in-text comparisons C1–C4 (see DESIGN.md §4 for the index). For each
+// table row it prints the measured simulated parallel time across machine
+// sizes together with the paper's claimed Θ-bound, so the growth shape
+// can be read off directly.
+//
+// Usage:
+//
+//	go run ./cmd/tables             # everything
+//	go run ./cmd/tables -table 2    # just Table 2
+//	go run ./cmd/tables -figure 2   # just Figure 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dyncg/internal/core"
+	"dyncg/internal/curve"
+	"dyncg/internal/dsseq"
+	"dyncg/internal/geom"
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/mesh"
+	"dyncg/internal/motion"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pgeom"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+	"dyncg/internal/pram"
+	"dyncg/internal/ratfun"
+)
+
+var (
+	tableFlag  = flag.Int("table", 0, "print only this table (1-4)")
+	figureFlag = flag.Int("figure", 0, "print only this figure (1-4)")
+	compFlag   = flag.Int("comparison", 0, "print only this comparison (1-4)")
+	seed       = flag.Int64("seed", 1988, "workload RNG seed")
+)
+
+func main() {
+	flag.Parse()
+	all := *tableFlag == 0 && *figureFlag == 0 && *compFlag == 0
+	if all || *figureFlag == 1 {
+		figure1()
+	}
+	if all || *figureFlag == 2 {
+		figure2()
+	}
+	if all || *figureFlag == 3 {
+		figure3()
+	}
+	if all || *figureFlag == 4 {
+		figure4()
+	}
+	if all || *tableFlag == 1 {
+		table1()
+	}
+	if all || *tableFlag == 2 {
+		table2()
+	}
+	if all || *tableFlag == 3 {
+		table3()
+	}
+	if all || *tableFlag == 4 {
+		table4()
+	}
+	if all || *compFlag == 1 {
+		comparison1()
+	}
+	if all || *compFlag == 2 {
+		comparison2()
+	}
+	if all || *compFlag == 3 {
+		comparison3()
+	}
+	if all || *compFlag == 4 {
+		comparison4()
+	}
+}
+
+func header(s string) { fmt.Printf("\n================ %s ================\n", s) }
+
+// row is one table row: a problem plus, per topology, a runner returning
+// the simulated time on a machine sized for n.
+type row struct {
+	name  string
+	claim string
+	run   func(n int, topo string) (int64, error)
+}
+
+func printTable(sizes []int, rows []row) {
+	fmt.Printf("%-24s %-10s", "problem", "machine")
+	for _, n := range sizes {
+		fmt.Printf(" %12s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Printf("  %s\n", "claimed bound")
+	for _, rw := range rows {
+		for _, topo := range []string{"mesh", "hypercube"} {
+			fmt.Printf("%-24s %-10s", rw.name, topo)
+			for _, n := range sizes {
+				t, err := rw.run(n, topo)
+				if err != nil {
+					fmt.Printf(" %12s", "err")
+					continue
+				}
+				fmt.Printf(" %12d", t)
+			}
+			fmt.Printf("  %s\n", rw.claim)
+		}
+	}
+}
+
+func meshM(n int) *machine.M {
+	return machine.New(mesh.MustNew(dsseq.NextPow4(n), mesh.Proximity))
+}
+func cubeM(n int) *machine.M {
+	return machine.New(hypercube.MustNew(dsseq.NextPow2(n)))
+}
+func machineOf(n int, topo string) *machine.M {
+	if topo == "mesh" {
+		return meshM(n)
+	}
+	return cubeM(n)
+}
+func machineFor(n, s int, topo string) *machine.M {
+	if topo == "mesh" {
+		return core.MeshFor(n, s)
+	}
+	return core.CubeFor(n, s)
+}
+
+// ---------------------------------------------------------------- figures
+
+func figure1() {
+	header("Figure 1: a mesh computer of size 16 (proximity order)")
+	m := mesh.MustNew(16, mesh.Proximity)
+	fmt.Print(m.Render())
+	fmt.Printf("communication diameter: %d = 2(√n − 1)\n", m.Diameter())
+}
+
+func figure2() {
+	header("Figure 2: indexing schemes for a mesh of size 16")
+	for _, ix := range []mesh.Indexing{mesh.RowMajor, mesh.ShuffledRowMajor, mesh.Snake, mesh.Proximity} {
+		fmt.Printf("--- %s ---\n%s", ix, mesh.MustNew(16, ix).Render())
+	}
+}
+
+func figure3() {
+	header("Figure 3: hypercubes of size 2, 4, 8 (Gray-code labels)")
+	for _, n := range []int{2, 4, 8} {
+		c := hypercube.MustNew(n)
+		fmt.Printf("size %d: label(node): ", n)
+		for j := 0; j < n; j++ {
+			fmt.Printf("%d(%0*b) ", j, c.Dim(), c.Node(j))
+		}
+		fmt.Println()
+	}
+}
+
+func figure4() {
+	header("Figure 4: pieces of min{f, g, h}")
+	cs := []curve.Curve{
+		curve.NewPoly(poly.New(6, -0.5)), // f: eventually smallest
+		curve.NewPoly(poly.New(0, 1)),    // g: smallest near 0
+		curve.NewPoly(poly.New(2)),       // h: smallest in between
+	}
+	env := pieces.EnvelopeOfCurves(cs, pieces.Min)
+	names := []string{"f", "g", "h"}
+	for _, p := range env {
+		hi := "∞"
+		if !math.IsInf(p.Hi, 1) {
+			hi = fmt.Sprintf("%.3g", p.Hi)
+		}
+		fmt.Printf("  (%s(t), [%.3g, %s])\n", names[p.ID], p.Lo, hi)
+	}
+}
+
+// ---------------------------------------------------------------- Table 1
+
+func table1() {
+	header("Table 1: data movement operations (measured simulated time)")
+	r := rand.New(rand.NewSource(*seed))
+	sizes := []int{64, 256, 1024, 4096}
+	mkVals := func(n int) []int {
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = r.Intn(1 << 20)
+		}
+		return vals
+	}
+	rows := []row{
+		{"semigroup", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
+			machine.Semigroup(m, regs, machine.WholeMachine(m.Size()), func(a, b int) int {
+				if a < b {
+					return a
+				}
+				return b
+			})
+			return m.Stats().Time(), nil
+		}},
+		{"broadcast", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			regs := make([]machine.Reg[int], m.Size())
+			regs[m.Size()/3] = machine.Some(1)
+			machine.Spread(m, regs, machine.WholeMachine(m.Size()))
+			return m.Stats().Time(), nil
+		}},
+		{"parallel prefix", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
+			machine.Scan(m, regs, machine.WholeMachine(m.Size()), machine.Forward,
+				func(a, b int) int { return a + b })
+			return m.Stats().Time(), nil
+		}},
+		{"merging", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
+			machine.SortBlocks(m, regs, m.Size()/2, func(a, b int) bool { return a < b })
+			m.Reset()
+			machine.MergeBlocks(m, regs, m.Size(), func(a, b int) bool { return a < b })
+			return m.Stats().Time(), nil
+		}},
+		{"sorting", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
+			machine.Sort(m, regs, func(a, b int) bool { return a < b })
+			return m.Stats().Time(), nil
+		}},
+		{"grouping", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
+			machine.Sort(m, regs, func(a, b int) bool { return a < b })
+			machine.Scan(m, regs, machine.BlockSegments(m.Size(), 16), machine.Forward,
+				func(a, b int) int { return a })
+			machine.Sort(m, regs, func(a, b int) bool { return a < b })
+			return m.Stats().Time(), nil
+		}},
+	}
+	printTable(sizes, rows)
+}
+
+// ---------------------------------------------------------------- Table 2
+
+func table2() {
+	header("Table 2: transient behaviour problems (measured simulated time)")
+	r := rand.New(rand.NewSource(*seed))
+	sizes := []int{16, 64, 256}
+	k := 2
+	sys2 := map[int]*motion.System{}
+	sys3 := map[int]*motion.System{}
+	conv := map[int]*motion.System{}
+	for _, n := range sizes {
+		sys2[n] = motion.Random(r, n, k, 2, 8)
+		sys3[n] = motion.Random(r, n, k, 3, 8)
+		conv[n] = motion.Converging(r, n)
+	}
+	rows := []row{
+		{"closest-point sequence", "Θ(λ^½(n−1,2k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineFor(n, 2*k, topo)
+			_, err := core.ClosestPointSequence(m, sys2[n], 0)
+			return m.Stats().Time(), err
+		}},
+		{"collision times", "Θ(n^½) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			_, err := core.CollisionTimes(m, conv[n], 0)
+			return m.Stats().Time(), err
+		}},
+		{"hull-vertex intervals", "Θ(λ^½(n,4k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineFor(n, 4*k+2, topo)
+			_, err := core.HullVertexIntervals(m, sys2[n], 0)
+			return m.Stats().Time(), err
+		}},
+		{"containment intervals", "Θ(λ^½(n,k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineFor(n, k+2, topo)
+			_, err := core.ContainmentIntervals(m, sys3[n], []float64{12, 12, 12})
+			return m.Stats().Time(), err
+		}},
+		{"cube edgelength fn", "Θ(λ^½(n,k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineFor(n, k+2, topo)
+			_, err := core.SmallestHypercubeEdge(m, sys3[n])
+			return m.Stats().Time(), err
+		}},
+		{"smallest-ever cube", "Θ(λ^½(n,k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineFor(n, k+2, topo)
+			_, _, err := core.SmallestEverHypercube(m, sys3[n])
+			return m.Stats().Time(), err
+		}},
+	}
+	printTable(sizes, rows)
+}
+
+// ---------------------------------------------------------------- Table 3
+
+func table3() {
+	header("Table 3: steady-state problems (measured simulated time)")
+	r := rand.New(rand.NewSource(*seed))
+	sizes := []int{64, 256, 1024}
+	sys := map[int]*motion.System{}
+	div := map[int]*motion.System{}
+	for _, n := range sizes {
+		sys[n] = motion.Random(r, n, 1, 2, 8)
+		div[n] = motion.Diverging(r, n)
+	}
+	rows := []row{
+		{"nearest neighbour", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+			m := machineOf(n, topo)
+			_, err := core.SteadyNearestNeighbor(m, sys[n], 0, false)
+			return m.Stats().Time(), err
+		}},
+		{"closest pair", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(4*n, topo)
+			_, _, err := core.SteadyClosestPair(m, sys[n])
+			return m.Stats().Time(), err
+		}},
+		{"ordered hull(S)", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			_, err := core.SteadyHull(m, sys[n])
+			return m.Stats().Time(), err
+		}},
+		{"farthest pair", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			_, _, _, err := core.SteadyFarthestPair(m, div[n])
+			return m.Stats().Time(), err
+		}},
+		{"min-area rectangle", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			_, err := core.SteadyMinAreaRect(m, div[n])
+			return m.Stats().Time(), err
+		}},
+	}
+	printTable(sizes, rows)
+}
+
+// ---------------------------------------------------------------- Table 4
+
+func table4() {
+	header("Table 4: static algorithms (measured simulated time)")
+	r := rand.New(rand.NewSource(*seed))
+	sizes := []int{64, 256, 1024}
+	ptsOf := map[int][]geom.Point[ratfun.F64]{}
+	hullOf := map[int][]geom.Point[ratfun.F64]{}
+	for _, n := range sizes {
+		pts := make([]geom.Point[ratfun.F64], n)
+		for i := range pts {
+			pts[i] = geom.Point[ratfun.F64]{
+				X: ratfun.F64(r.NormFloat64() * 20), Y: ratfun.F64(r.NormFloat64() * 20), ID: i,
+			}
+		}
+		ptsOf[n] = pts
+		hullOf[n] = geom.Hull(pts)
+	}
+	rows := []row{
+		{"closest pair", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(4*n, topo)
+			pgeom.ClosestPair(m, ptsOf[n])
+			return m.Stats().Time(), nil
+		}},
+		{"convex hull", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			_, err := pgeom.HullStatic(m, ptsOf[n])
+			return m.Stats().Time(), err
+		}},
+		{"antipodal vertices", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			pgeom.AntipodalPairs(m, hullOf[n])
+			return m.Stats().Time(), nil
+		}},
+		{"min enclosing rect", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+			m := machineOf(8*n, topo)
+			pgeom.MinAreaRect(m, hullOf[n])
+			return m.Stats().Time(), nil
+		}},
+	}
+	printTable(sizes, rows)
+}
+
+// ----------------------------------------------------------- comparisons
+
+func comparison1() {
+	header("C1: λ(n, s) growth (Theorem 2.3)")
+	fmt.Printf("%8s %10s %10s %12s %14s\n", "n", "λ(n,1)=n", "λ(n,2)", "pieces(s=1)", "pieces(s=2)")
+	for _, n := range []int{4, 8, 16, 24} {
+		lines := dsseq.SortedLines(n)
+		cs1 := make([]curve.Curve, n)
+		for i, p := range lines {
+			cs1[i] = curve.NewPoly(p)
+		}
+		parabolas := dsseq.ExtremalParabolas(n)
+		cs2 := make([]curve.Curve, n)
+		for i, p := range parabolas {
+			cs2[i] = curve.NewPoly(p)
+		}
+		e1 := pieces.EnvelopeOfCurves(cs1, pieces.Min)
+		e2 := pieces.EnvelopeOfCurves(cs2, pieces.Min)
+		fmt.Printf("%8d %10d %10d %12d %14d\n",
+			n, dsseq.Lambda(n, 1), dsseq.Lambda(n, 2), len(e1), len(e2))
+	}
+	fmt.Printf("α(n) ≤ %d for every machine-representable n (Hart–Sharir)\n",
+		dsseq.InverseAckermann(1<<62))
+}
+
+func comparison2() {
+	header("C2: Theorem 3.2 envelope vs direct CREW-PRAM simulation (§1, §6)")
+	r := rand.New(rand.NewSource(*seed))
+	fmt.Printf("%8s %-10s %14s %14s %8s\n", "n", "machine", "thm 3.2", "PRAM-sim", "ratio")
+	for _, n := range []int{64, 256, 1024} {
+		cs := make([]curve.Curve, n)
+		for i := range cs {
+			cs[i] = curve.NewPoly(poly.New(r.NormFloat64()*5, r.NormFloat64(), 0.2+r.Float64()))
+		}
+		for _, topo := range []string{"mesh", "hypercube"} {
+			var m1, m2 *machine.M
+			if topo == "mesh" {
+				m1 = machine.New(mesh.MustNew(penvelope.MeshPEs(n, 2), mesh.Proximity))
+				m2 = machine.New(mesh.MustNew(penvelope.MeshPEs(n, 2), mesh.Proximity))
+			} else {
+				m1 = machine.New(hypercube.MustNew(penvelope.CubePEs(n, 2)))
+				m2 = machine.New(hypercube.MustNew(penvelope.CubePEs(n, 2)))
+			}
+			if _, err := penvelope.EnvelopeOfCurves(m1, cs, pieces.Min); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			pram.Envelope(m2, cs, pieces.Min)
+			t1, t2 := m1.Stats().Time(), m2.Stats().Time()
+			fmt.Printf("%8d %-10s %14d %14d %8.2f\n", n, topo, t1, t2, float64(t2)/float64(t1))
+		}
+	}
+	fmt.Println("claim: mesh ratio grows like Θ(log n); hypercube like Θ(log n)")
+}
+
+func comparison3() {
+	header("C3: direct steady-state nearest neighbour vs transient tail (§5 intro)")
+	r := rand.New(rand.NewSource(*seed))
+	fmt.Printf("%8s %14s %14s %8s\n", "n", "direct", "via Thm 4.1", "ratio")
+	for _, n := range []int{64, 256, 1024} {
+		sys := motion.Random(r, n, 1, 2, 8)
+		m1 := core.MeshOf(n)
+		if _, err := core.SteadyNearestNeighbor(m1, sys, 0, false); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		m2 := core.MeshFor(n, 2)
+		if _, err := core.SteadyNearestViaTransient(m2, sys, 0); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		t1, t2 := m1.Stats().Time(), m2.Stats().Time()
+		fmt.Printf("%8d %14d %14d %8.1f\n", n, t1, t2, float64(t2)/float64(t1))
+	}
+	fmt.Println("claim: the direct Θ(√n) algorithm beats the Θ(λ^½(n,2k))-time sequence")
+}
+
+func comparison4() {
+	header("C4: §6 extension — closest-pair sequences on λ(n(n−1)/2, 2k) PEs")
+	r := rand.New(rand.NewSource(*seed))
+	fmt.Printf("%8s %10s %12s %12s %10s\n", "n", "pairs", "mesh", "hypercube", "events")
+	for _, n := range []int{8, 16, 32} {
+		sys := motion.Random(r, n, 1, 2, 8)
+		mm := core.MeshFor(core.PairSequencePEs(n, 1), 2)
+		seq, err := core.ClosestPairSequence(mm, sys)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		hc := core.CubeFor(core.PairSequencePEs(n, 1), 2)
+		if _, err := core.ClosestPairSequence(hc, sys); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%8d %10d %12d %12d %10d\n",
+			n, n*(n-1)/2, mm.Stats().Time(), hc.Stats().Time(), len(seq))
+	}
+	fmt.Println("claim: Θ(λ^½(n(n−1)/2, 2k)) mesh / Θ(log² n) hypercube")
+}

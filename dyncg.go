@@ -1,0 +1,231 @@
+// Package dyncg is a Go reproduction of
+//
+//	L. Boxer and R. Miller, "Dynamic Computational Geometry on Meshes
+//	and Hypercubes" (ICPP 1988; journal version 1989),
+//
+// providing parallel algorithms for geometric properties of systems of
+// moving point-objects with polynomial ("k-motion") trajectories, executed
+// on simulated mesh-connected and hypercube computers with faithful
+// communication-cost accounting.
+//
+// # Model
+//
+// A System holds n points whose coordinates are polynomials of degree ≤ k
+// in time (§2.4 of the paper). Algorithms run on a Machine — either a
+// √n×√n mesh with proximity (Peano–Hilbert) PE ordering (§2.2) or a
+// Gray-code-labelled hypercube (§2.3) — and the machine's Stats report the
+// simulated parallel running time that the paper's Θ-bounds describe.
+//
+// # Transient-behaviour algorithms (paper §4, Table 2)
+//
+//   - ClosestPointSequence / FarthestPointSequence (Theorem 4.1)
+//   - CollisionTimes (Theorem 4.2)
+//   - HullVertexIntervals (Theorem 4.5)
+//   - ContainmentIntervals (Theorem 4.6)
+//   - SmallestHypercubeEdge / SmallestEverHypercube (Thm 4.7, Cor 4.8)
+//
+// # Steady-state algorithms (paper §5, Table 3)
+//
+//   - SteadyNearestNeighbor (Proposition 5.2)
+//   - SteadyClosestPair (Proposition 5.3)
+//   - SteadyHull (Proposition 5.4)
+//   - SteadyFarthestPair (Proposition 5.6, Corollary 5.7)
+//   - SteadyMinAreaRect (Theorem 5.8, Corollary 5.9)
+//
+// # Quick start
+//
+//	sys, _ := dyncg.NewSystem([]dyncg.Point{
+//	    dyncg.NewPoint(dyncg.Polynomial(0, 1), dyncg.Polynomial(0)),   // (t, 0)
+//	    dyncg.NewPoint(dyncg.Polynomial(10, -1), dyncg.Polynomial(1)), // (10−t, 1)
+//	})
+//	m := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))
+//	seq, _ := dyncg.ClosestPointSequence(m, sys, 0)
+//	fmt.Println(seq, m.Stats())
+//
+// See the runnable programs under examples/ and the experiment
+// reproduction harness in bench_test.go and cmd/tables.
+package dyncg
+
+import (
+	"math/rand"
+
+	"dyncg/internal/core"
+	"dyncg/internal/dsseq"
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/mesh"
+	"dyncg/internal/motion"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+)
+
+// Point is a moving point-object: one polynomial per coordinate (§2.4).
+type Point = motion.Point
+
+// System is a dynamic system of moving point-objects with k-motion.
+type System = motion.System
+
+// Machine is a simulated mesh or hypercube with cost accounting.
+type Machine = machine.M
+
+// Stats is the simulated parallel running time of a computation.
+type Stats = machine.Stats
+
+// Interval is a closed time interval; Hi may be +Inf.
+type Interval = core.Interval
+
+// NeighborEvent is one element of a closest/farthest-point sequence.
+type NeighborEvent = core.NeighborEvent
+
+// Collision is a collision event between two points.
+type Collision = core.Collision
+
+// Piecewise is an ordered piecewise function of time (a min/max function
+// description, §2.5).
+type Piecewise = pieces.Piecewise
+
+// Polynomial builds the polynomial c0 + c1·t + c2·t² + … .
+func Polynomial(coefs ...float64) poly.Poly { return poly.New(coefs...) }
+
+// NewPoint builds a moving point from its coordinate polynomials.
+func NewPoint(coords ...poly.Poly) Point { return motion.NewPoint(coords...) }
+
+// NewSystem validates and wraps a set of moving points.
+func NewSystem(pts []Point) (*System, error) { return motion.NewSystem(pts) }
+
+// RandomSystem generates a random n-point system with k-motion in d
+// dimensions (a benchmark workload).
+func RandomSystem(r *rand.Rand, n, k, d int, scale float64) *System {
+	return motion.Random(r, n, k, d, scale)
+}
+
+// NewMeshMachine returns a proximity-ordered mesh with at least n PEs
+// (rounded up to a power of four).
+func NewMeshMachine(n int) *Machine {
+	return machine.New(mesh.MustNew(dsseq.NextPow4(n), mesh.Proximity))
+}
+
+// NewCubeMachine returns a Gray-code-labelled hypercube with at least n
+// PEs (rounded up to a power of two).
+func NewCubeMachine(n int) *Machine {
+	return machine.New(hypercube.MustNew(dsseq.NextPow2(n)))
+}
+
+// EnvelopePEs returns the number of PEs the envelope-based algorithms
+// need for n functions with at most s pairwise intersections — the
+// Θ(λ(n, s)) allocation of Theorem 3.2.
+func EnvelopePEs(n, s int) int { return penvelope.CubePEs(n, s) }
+
+// Lambda returns the Davenport–Schinzel bound λ(n, s) (§2.5).
+func Lambda(n, s int) int { return dsseq.Lambda(n, s) }
+
+// --- §4: transient behaviour -------------------------------------------
+
+// ClosestPointSequence returns the chronological sequence of closest
+// points to sys.Points[origin] (Theorem 4.1).
+func ClosestPointSequence(m *Machine, sys *System, origin int) ([]NeighborEvent, error) {
+	return core.ClosestPointSequence(m, sys, origin)
+}
+
+// FarthestPointSequence returns the chronological sequence of farthest
+// points from sys.Points[origin] (Theorem 4.1).
+func FarthestPointSequence(m *Machine, sys *System, origin int) ([]NeighborEvent, error) {
+	return core.FarthestPointSequence(m, sys, origin)
+}
+
+// CollisionTimes returns the sorted times at which sys.Points[origin]
+// collides with other points (Theorem 4.2).
+func CollisionTimes(m *Machine, sys *System, origin int) ([]Collision, error) {
+	return core.CollisionTimes(m, sys, origin)
+}
+
+// HullVertexIntervals returns the ordered time intervals during which
+// sys.Points[origin] is an extreme point of the convex hull of the
+// planar system (Theorem 4.5).
+func HullVertexIntervals(m *Machine, sys *System, origin int) ([]Interval, error) {
+	return core.HullVertexIntervals(m, sys, origin)
+}
+
+// ContainmentIntervals returns the ordered time intervals during which
+// the system fits in an iso-oriented hyper-rectangle with the given side
+// lengths (Theorem 4.6).
+func ContainmentIntervals(m *Machine, sys *System, dims []float64) ([]Interval, error) {
+	return core.ContainmentIntervals(m, sys, dims)
+}
+
+// SmallestHypercubeEdge returns the piecewise function D(t): the edge
+// length of the smallest iso-oriented hypercube containing the system at
+// time t (Theorem 4.7).
+func SmallestHypercubeEdge(m *Machine, sys *System) (Piecewise, error) {
+	return core.SmallestHypercubeEdge(m, sys)
+}
+
+// SmallestEverHypercube returns min_t D(t) and a time attaining it
+// (Corollary 4.8).
+func SmallestEverHypercube(m *Machine, sys *System) (dmin, tmin float64, err error) {
+	return core.SmallestEverHypercube(m, sys)
+}
+
+// --- §5: steady state ----------------------------------------------------
+
+// SteadyNearestNeighbor returns a steady-state nearest (or farthest)
+// neighbour of sys.Points[origin] (Proposition 5.2).
+func SteadyNearestNeighbor(m *Machine, sys *System, origin int, farthest bool) (int, error) {
+	return core.SteadyNearestNeighbor(m, sys, origin, farthest)
+}
+
+// SteadyClosestPair returns a steady-state closest pair (Proposition 5.3).
+func SteadyClosestPair(m *Machine, sys *System) (int, int, error) {
+	return core.SteadyClosestPair(m, sys)
+}
+
+// SteadyHull returns the steady-state hull vertices in counterclockwise
+// order (Proposition 5.4).
+func SteadyHull(m *Machine, sys *System) ([]int, error) {
+	return core.SteadyHull(m, sys)
+}
+
+// SteadyFarthestPair returns a steady-state farthest pair and the
+// squared-distance polynomial realising the diameter function
+// (Proposition 5.6, Corollary 5.7).
+func SteadyFarthestPair(m *Machine, sys *System) (a, b int, dist2 poly.Poly, err error) {
+	return core.SteadyFarthestPair(m, sys)
+}
+
+// SteadyRect describes a steady-state minimal-area enclosing rectangle.
+type SteadyRect = core.SteadyRect
+
+// SteadyMinAreaRect returns a steady-state minimal-area enclosing
+// rectangle (Theorem 5.8, Corollary 5.9).
+func SteadyMinAreaRect(m *Machine, sys *System) (SteadyRect, error) {
+	return core.SteadyMinAreaRect(m, sys)
+}
+
+// --- §6: extensions ------------------------------------------------------
+
+// PairEvent is one element of a closest/farthest-pair sequence (§6).
+type PairEvent = core.PairEvent
+
+// ClosestPairSequence returns the chronological sequence of closest
+// pairs of the whole system — the extension sketched in §6 ("Further
+// Remarks"), using Θ(λ(n(n−1)/2, 2k)) PEs (size machines with
+// PairSequencePEs).
+func ClosestPairSequence(m *Machine, sys *System) ([]PairEvent, error) {
+	return core.ClosestPairSequence(m, sys)
+}
+
+// FarthestPairSequence is the farthest-pair (diameter-over-time)
+// variant of ClosestPairSequence.
+func FarthestPairSequence(m *Machine, sys *System) ([]PairEvent, error) {
+	return core.FarthestPairSequence(m, sys)
+}
+
+// PairSequencePEs returns the §6 function count for the pair sequences.
+func PairSequencePEs(n, k int) int { return core.PairSequencePEs(n, k) }
+
+// SteadyNearestNeighborD is SteadyNearestNeighbor for systems in any
+// fixed dimension (Proposition 5.2 as stated).
+func SteadyNearestNeighborD(m *Machine, sys *System, origin int, farthest bool) (int, error) {
+	return core.SteadyNearestNeighborD(m, sys, origin, farthest)
+}

@@ -1,0 +1,76 @@
+// Air-traffic watch: the paper's motivating application (§1 cites air
+// traffic control). A controller tracks aircraft with known linear flight
+// plans and asks two questions about one monitored aircraft:
+//
+//  1. which aircraft is closest to it during which time windows
+//     (Theorem 4.1: the chronological closest-point sequence), and
+//  2. does any aircraft ever *collide* with it, and when
+//     (Theorem 4.2: sorted collision times).
+//
+// Run: go run ./examples/airtraffic
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dyncg"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	// The monitored aircraft cruises east along y = 0.
+	planes := []dyncg.Point{
+		dyncg.NewPoint(dyncg.Polynomial(0, 4), dyncg.Polynomial(0)),
+	}
+	// Crossing traffic: aircraft on transversal courses, two of which are
+	// on genuine collision courses with the monitored one (they meet it
+	// at t = 5 and t = 12).
+	planes = append(planes,
+		dyncg.NewPoint(dyncg.Polynomial(20), dyncg.Polynomial(30, -6)),     // meets (20,0) at t=5
+		dyncg.NewPoint(dyncg.Polynomial(96, -4), dyncg.Polynomial(36, -3)), // meets (48,0) at t=12
+	)
+	// Background traffic with random safe courses.
+	for i := 0; i < 13; i++ {
+		planes = append(planes, dyncg.NewPoint(
+			dyncg.Polynomial(r.Float64()*100, r.Float64()*4-2),
+			dyncg.Polynomial(10+r.Float64()*90, r.Float64()*4-2),
+		))
+	}
+	sys, err := dyncg.NewSystem(planes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tracking %d aircraft, monitored aircraft = #0\n\n", sys.N())
+
+	// Question 1: closest aircraft over time.
+	m := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))
+	seq, err := dyncg.ClosestPointSequence(m, sys, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("closest aircraft to #0 over time:")
+	for _, ev := range seq {
+		hi := "∞"
+		if !math.IsInf(ev.Hi, 1) {
+			hi = fmt.Sprintf("%6.2f", ev.Hi)
+		}
+		fmt.Printf("  [%6.2f, %6s]  aircraft #%d\n", ev.Lo, hi, ev.Point)
+	}
+	fmt.Printf("(simulated hypercube time: %d steps)\n\n", m.Stats().Time())
+
+	// Question 2: collision alarms.
+	m2 := dyncg.NewCubeMachine(8 * sys.N())
+	collisions, err := dyncg.CollisionTimes(m2, sys, 0)
+	if err != nil {
+		panic(err)
+	}
+	if len(collisions) == 0 {
+		fmt.Println("no collisions with the monitored aircraft")
+	}
+	for _, c := range collisions {
+		fmt.Printf("COLLISION ALERT: aircraft #%d meets #%d at t = %.3f\n", c.A, c.B, c.T)
+	}
+	fmt.Printf("(simulated hypercube time: %d steps)\n", m2.Stats().Time())
+}

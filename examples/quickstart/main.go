@@ -1,0 +1,62 @@
+// Quickstart: build a small dynamic system, construct the minimum
+// function of the distances to a query point (Theorem 4.1), and read off
+// the chronological closest-neighbour sequence — the paper's central
+// primitive — on both simulated machines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"dyncg"
+)
+
+func main() {
+	// Three moving points in the plane (k = 1 motion):
+	//   P0: sits at the origin.
+	//   P1: starts near P0 and flies away east.
+	//   P2: starts far north and dives toward P0.
+	sys, err := dyncg.NewSystem([]dyncg.Point{
+		dyncg.NewPoint(dyncg.Polynomial(0), dyncg.Polynomial(0)),
+		dyncg.NewPoint(dyncg.Polynomial(1, 2), dyncg.Polynomial(0)),
+		dyncg.NewPoint(dyncg.Polynomial(0), dyncg.Polynomial(20, -1)),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("system: n=%d points, k=%d motion, d=%d\n\n", sys.N(), sys.K, sys.D)
+
+	for _, mk := range []struct {
+		name string
+		m    *dyncg.Machine
+	}{
+		{"hypercube", dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))},
+		{"mesh", dyncg.NewMeshMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))},
+	} {
+		seq, err := dyncg.ClosestPointSequence(mk.m, sys, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("closest points to P0 over time (%s):\n", mk.name)
+		for _, ev := range seq {
+			hi := "∞"
+			if !math.IsInf(ev.Hi, 1) {
+				hi = fmt.Sprintf("%.3f", ev.Hi)
+			}
+			fmt.Printf("  P%-2d on [%.3f, %s]\n", ev.Point, ev.Lo, hi)
+		}
+		fmt.Printf("simulated parallel time: %v\n\n", mk.m.Stats())
+	}
+
+	// The steady-state shortcut (Proposition 5.2) answers only the
+	// "final" question, much faster.
+	m := dyncg.NewMeshMachine(sys.N())
+	nn, err := dyncg.SteadyNearestNeighbor(m, sys, 0, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("steady-state nearest neighbour of P0: P%d (in %d simulated steps)\n",
+		nn, m.Stats().Time())
+}

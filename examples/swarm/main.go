@@ -1,0 +1,99 @@
+// Robot-swarm containment: §4.3's container questions (the paper's
+// robotics motivation). A swarm of robots disperses from a staging area
+// and later regroups; the operator asks:
+//
+//  1. during which time windows does the whole swarm fit inside a fixed
+//     transport crate (Theorem 4.6: containment intervals),
+//  2. how does the side of the smallest bounding cube evolve
+//     (Theorem 4.7: the edge-length function D(t)), and
+//  3. what is the tightest the swarm ever gets, and when
+//     (Corollary 4.8: the smallest-ever bounding cube).
+//
+// Run: go run ./examples/swarm
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dyncg"
+	"dyncg/internal/poly"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(11))
+	// Robots in 3-D: they start spread out, converge toward a rendezvous
+	// around t ≈ 6, then drift apart again (quadratic motion, k = 2).
+	var robots []dyncg.Point
+	for i := 0; i < 12; i++ {
+		coords := make([]float64, 3)
+		for c := range coords {
+			coords[c] = r.Float64()*40 - 20
+		}
+		// Trajectory per coordinate: x(t) = x0·(1 − t/6)² + drift·(t/6)²,
+		// i.e. the robot moves from x0 to its small drift offset by t = 6
+		// and overshoots outward afterwards.
+		drift := (r.Float64()*2 - 1) * 4
+		robots = append(robots, dyncg.NewPoint(
+			quad(coords[0], drift),
+			quad(coords[1], (r.Float64()*2-1)*4),
+			quad(coords[2], (r.Float64()*2-1)*4),
+		))
+	}
+	sys, err := dyncg.NewSystem(robots)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("swarm of %d robots in %d-D, k=%d motion\n\n", sys.N(), sys.D, sys.K)
+
+	m := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), sys.K+2))
+
+	// 1. When does the swarm fit in a 10×10×10 crate?
+	crate := []float64{10, 10, 10}
+	ivs, err := dyncg.ContainmentIntervals(m, sys, crate)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("the swarm fits in a %v crate during:\n", crate)
+	if len(ivs) == 0 {
+		fmt.Println("  never")
+	}
+	for _, iv := range ivs {
+		hi := "∞"
+		if !math.IsInf(iv.Hi, 1) {
+			hi = fmt.Sprintf("%.3f", iv.Hi)
+		}
+		fmt.Printf("  [%.3f, %s]\n", iv.Lo, hi)
+	}
+
+	// 2. The bounding-cube edge-length function.
+	m2 := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), sys.K+2))
+	dfn, err := dyncg.SmallestHypercubeEdge(m2, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nbounding-cube edge length D(t) has %d pieces; samples:\n", len(dfn))
+	for _, t := range []float64{0, 3, 6, 9, 12} {
+		if v, ok := dfn.Eval(t); ok {
+			fmt.Printf("  D(%4.1f) = %6.2f\n", t, v)
+		}
+	}
+
+	// 3. The tightest configuration ever reached.
+	m3 := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), sys.K+2))
+	dmin, tmin, err := dyncg.SmallestEverHypercube(m3, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nsmallest-ever bounding cube: edge %.3f at t = %.3f\n", dmin, tmin)
+	fmt.Printf("simulated time: containment %d, D(t) %d, min %d steps\n",
+		m.Stats().Time(), m2.Stats().Time(), m3.Stats().Time())
+}
+
+// quad builds x(t) = x0·(1 − t/6)² + drift·(t/6)² expanded into
+// coefficients: the robot reaches its drift offset at the rendezvous time
+// t = 6.
+func quad(x0, drift float64) poly.Poly {
+	return dyncg.Polynomial(x0, -x0/3, (x0+drift)/36)
+}

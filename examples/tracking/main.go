@@ -1,0 +1,89 @@
+// Long-horizon tracking: the steady-state questions of §5. A sensor
+// network tracks a dispersing cloud of targets (pattern-recognition /
+// surveillance motivation of §1) and asks what the configuration looks
+// like "in the limit":
+//
+//   - which targets form the convex hull of the cloud eventually
+//     (Proposition 5.4),
+//   - which pair ends up farthest apart and how the squared diameter
+//     grows with time (Proposition 5.6, Corollary 5.7),
+//   - the eventual minimal-area bounding rectangle and its area as a
+//     function of time (Theorem 5.8, Corollary 5.9), and
+//   - the eventual nearest neighbour of a chosen target
+//     (Proposition 5.2).
+//
+// Run: go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dyncg"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(5))
+	// Targets radiate from a small region with distinct headings; two
+	// stragglers stay put (and so end up interior).
+	var targets []dyncg.Point
+	n := 14
+	for i := 0; i < n; i++ {
+		u := 2*float64(i)/float64(n) - 1
+		den := 1 + u*u
+		vx, vy := (1-u*u)/den, 2*u/den // unit headings around the circle
+		targets = append(targets, dyncg.NewPoint(
+			dyncg.Polynomial(r.Float64()*4-2, vx*(1+r.Float64())),
+			dyncg.Polynomial(r.Float64()*4-2, vy*(1+r.Float64())),
+		))
+	}
+	targets = append(targets,
+		dyncg.NewPoint(dyncg.Polynomial(0.5), dyncg.Polynomial(0.25)),
+		dyncg.NewPoint(dyncg.Polynomial(-0.5), dyncg.Polynomial(-0.25)),
+	)
+	sys, err := dyncg.NewSystem(targets)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tracking %d targets (k=%d motion)\n\n", sys.N(), sys.K)
+
+	// Steady-state hull.
+	m := dyncg.NewCubeMachine(8 * sys.N())
+	hull, err := dyncg.SteadyHull(m, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("eventual hull (%d of %d targets, CCW): %v\n", len(hull), sys.N(), hull)
+	fmt.Printf("  [static stragglers #%d and #%d are eventually interior]\n\n", n, n+1)
+
+	// Farthest pair and the diameter function.
+	m2 := dyncg.NewCubeMachine(8 * sys.N())
+	a, b, d2, err := dyncg.SteadyFarthestPair(m2, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("eventual farthest pair: #%d and #%d\n", a, b)
+	fmt.Printf("  squared diameter function: d²(t) = %v\n", d2)
+	fmt.Printf("  e.g. d(100) = %.2f, d(1000) = %.2f\n\n",
+		math.Sqrt(d2.Eval(100)), math.Sqrt(d2.Eval(1000)))
+
+	// Minimal-area bounding rectangle in the limit.
+	m3 := dyncg.NewCubeMachine(8 * sys.N())
+	rect, err := dyncg.SteadyMinAreaRect(m3, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("eventual min-area bounding rectangle: base on hull edge %d\n", rect.Edge)
+	fmt.Printf("  area(t) → %v (area at t=1000: %.1f)\n\n", rect.Area, rect.Area.Eval(1000))
+
+	// Steady-state nearest neighbour of target 0.
+	m4 := dyncg.NewMeshMachine(sys.N())
+	nn, err := dyncg.SteadyNearestNeighbor(m4, sys, 0, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("eventual nearest neighbour of #0: #%d\n", nn)
+	fmt.Printf("simulated times: hull %d, farthest %d, rect %d, NN %d steps\n",
+		m.Stats().Time(), m2.Stats().Time(), m3.Stats().Time(), m4.Stats().Time())
+}

@@ -1,0 +1,3 @@
+module dyncg
+
+go 1.22

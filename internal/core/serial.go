@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dyncg/internal/motion"
+	"dyncg/internal/pieces"
+)
+
+// Serial baselines for the §4 transient problems, in the style of
+// [Atallah 1985]: the same window combiners and indicator constructions
+// as the machine algorithms, run through the serial envelope machinery
+// (pieces.Envelope / pieces.CombineWindows). These are the single-
+// processor comparison points of the paper's §1 discussion, and the
+// reference implementations the machine results are tested against.
+
+// SerialHullVertexIntervals is the serial baseline for Theorem 4.5.
+func SerialHullVertexIntervals(sys *motion.System, origin int) ([]Interval, error) {
+	if sys.D != 2 {
+		return nil, fmt.Errorf("core: hull membership requires planar motion, got d=%d", sys.D)
+	}
+	if sys.N() <= 2 {
+		return []Interval{{Lo: 0, Hi: math.Inf(1)}}, nil
+	}
+	var gs, bs []pieces.Piecewise
+	for j, q := range sys.Points {
+		if j == origin {
+			continue
+		}
+		ang := sys.Points[origin].AngleTo(q)
+		dy := q.Coord[1].Sub(sys.Points[origin].Coord[1])
+		gDom, bDom := signDomains(dy)
+		if g := pieces.OnIntervals(ang, j, gDom); len(g) > 0 {
+			gs = append(gs, g)
+		}
+		if b := pieces.OnIntervals(ang, j, bDom); len(b) > 0 {
+			bs = append(bs, b)
+		}
+	}
+	a0 := pieces.Envelope(gs, pieces.Min)
+	b0 := pieces.Envelope(gs, pieces.Max)
+	c0 := pieces.Envelope(bs, pieces.Min)
+	d0 := pieces.Envelope(bs, pieces.Max)
+
+	var A0, B0 pieces.Piecewise
+	if len(a0) > 0 && len(d0) > 0 {
+		A0 = pieces.CombineWindows(a0, d0, angleWindow(true))
+	}
+	if len(b0) > 0 && len(c0) > 0 {
+		B0 = pieces.CombineWindows(b0, c0, angleWindow(false))
+	}
+	C0 := serialGapIndicator(a0)
+	D0 := serialGapIndicator(c0)
+
+	h := A0
+	for _, other := range []pieces.Piecewise{B0, C0, D0} {
+		if len(other) == 0 {
+			continue
+		}
+		if len(h) == 0 {
+			h = other
+			continue
+		}
+		h = pieces.Merge(h, other, pieces.Max)
+	}
+	return serialIndicatorIntervals(h), nil
+}
+
+// SerialContainmentIntervals is the serial baseline for Theorem 4.6.
+func SerialContainmentIntervals(sys *motion.System, dims []float64) ([]Interval, error) {
+	if len(dims) != sys.D {
+		return nil, fmt.Errorf("core: %d dims for %d-dimensional system", len(dims), sys.D)
+	}
+	spans := serialSpanFunctions(sys)
+	var c pieces.Piecewise
+	for i, di := range spans {
+		var wi pieces.Piecewise
+		for _, p := range di {
+			wi = append(wi, thresholdIndicator(dims[i])(p)...)
+		}
+		wi = wi.Compact()
+		if c == nil {
+			c = wi
+			continue
+		}
+		c = pieces.Merge(c, wi, pieces.Min)
+	}
+	return serialIndicatorIntervals(c), nil
+}
+
+// SerialSmallestHypercubeEdge is the serial baseline for Theorem 4.7.
+func SerialSmallestHypercubeEdge(sys *motion.System) (pieces.Piecewise, error) {
+	spans := serialSpanFunctions(sys)
+	d := spans[0]
+	for _, di := range spans[1:] {
+		d = pieces.Merge(d, di, pieces.Max)
+	}
+	return d, nil
+}
+
+// serialSpanFunctions builds the D_i(t) = M_i(t) − m_i(t) span functions
+// serially.
+func serialSpanFunctions(sys *motion.System) []pieces.Piecewise {
+	out := make([]pieces.Piecewise, sys.D)
+	for i := 0; i < sys.D; i++ {
+		cs := sys.CoordCurves(i)
+		lo := pieces.EnvelopeOfCurves(cs, pieces.Min)
+		hi := pieces.EnvelopeOfCurves(cs, pieces.Max)
+		out[i] = pieces.CombineWindows(hi, lo, windowDiffFor(i))
+	}
+	return out
+}
+
+func serialGapIndicator(f pieces.Piecewise) pieces.Piecewise {
+	return gapIndicatorPieces(f)
+}
+
+func serialIndicatorIntervals(w pieces.Piecewise) []Interval {
+	var out []Interval
+	for _, p := range w {
+		if p.ID == 1 {
+			out = append(out, Interval{Lo: p.Lo, Hi: p.Hi})
+		}
+	}
+	return mergeAbutting(out)
+}

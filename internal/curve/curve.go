@@ -1,0 +1,163 @@
+// Package curve defines the real-valued functions of time that the
+// paper's envelope algorithms operate on.
+//
+// Section 6 of the paper lists the four properties a function family must
+// satisfy for the algorithms to apply: (1) continuity on its domain,
+// (2) a Θ(1)-storage description, (3) Θ(1)-time evaluation, and (4) at most
+// k pairwise intersections, computable in Θ(1) time. The Curve interface is
+// the direct transcription of those properties. Two families are provided:
+// polynomial curves (trajectories, squared distances, coordinate spans) and
+// angle curves (the T_ij functions of §4.2, represented by their direction
+// vector rather than by arctan so that all predicates stay polynomial).
+package curve
+
+import (
+	"fmt"
+	"math"
+
+	"dyncg/internal/poly"
+)
+
+// Curve is a continuous real-valued function of time with the Θ(1)
+// description/evaluation/intersection properties of §6.
+//
+// Intersections must be called with curves of the same family (the paper's
+// algorithms only ever compare functions drawn from one family F).
+type Curve interface {
+	// Eval evaluates the curve at time t ≥ 0.
+	Eval(t float64) float64
+	// Intersections returns the times in [lo, hi] at which the curve
+	// equals other, in increasing order, together with an "identical"
+	// flag that is true when the two curves coincide as functions (in
+	// which case the time slice is empty).
+	Intersections(other Curve, lo, hi float64) (times []float64, identical bool)
+	// String returns a compact human-readable description.
+	String() string
+}
+
+// Poly is a polynomial curve.
+type Poly struct{ P poly.Poly }
+
+// NewPoly wraps a polynomial as a Curve.
+func NewPoly(p poly.Poly) Poly { return Poly{P: p} }
+
+// Const returns the constant curve c.
+func Const(c float64) Poly { return Poly{P: poly.Constant(c)} }
+
+// Eval evaluates the polynomial at t.
+func (c Poly) Eval(t float64) float64 { return c.P.Eval(t) }
+
+// Intersections implements Curve for polynomial-vs-polynomial.
+func (c Poly) Intersections(other Curve, lo, hi float64) ([]float64, bool) {
+	o, ok := other.(Poly)
+	if !ok {
+		panic(fmt.Sprintf("curve: Poly intersected with %T", other))
+	}
+	d := c.P.Sub(o.P)
+	if d.IsZero() {
+		return nil, true
+	}
+	return d.Roots(lo, hi), false
+}
+
+// String implements Curve.
+func (c Poly) String() string { return c.P.String() }
+
+// Angle is the angle function T(t) of §4.2: the angle in (−π, π] of the
+// moving direction vector (DX(t), DY(t)), e.g. from point P_i to point P_j.
+// It is represented by the vector itself; every predicate (comparison,
+// intersection, antiparallelism) reduces to polynomial sign tests and root
+// isolation, exactly as in the proof of Theorem 4.5.
+type Angle struct {
+	DX, DY poly.Poly
+}
+
+// NewAngle returns the angle curve of the vector (dx(t), dy(t)).
+func NewAngle(dx, dy poly.Poly) Angle { return Angle{DX: dx, DY: dy} }
+
+// Eval returns the angle atan2(DY(t), DX(t)) ∈ (−π, π].
+func (c Angle) Eval(t float64) float64 {
+	y, x := c.DY.Eval(t), c.DX.Eval(t)
+	a := math.Atan2(y, x)
+	if a == -math.Pi { // normalize to (−π, π]
+		a = math.Pi
+	}
+	return a
+}
+
+// Defined reports whether the angle exists at t (the vector is nonzero);
+// it vanishes exactly at collision times (§4.2: T undefined when the two
+// points coincide).
+func (c Angle) Defined(t float64) bool {
+	return c.DX.SignAt(t) != 0 || c.DY.SignAt(t) != 0
+}
+
+// cross returns DX·other.DY − DY·other.DX, the polynomial whose roots are
+// the times at which the two vectors are parallel (proof of Theorem 4.5).
+func (c Angle) cross(o Angle) poly.Poly {
+	return c.DX.Mul(o.DY).Sub(c.DY.Mul(o.DX))
+}
+
+// dot returns DX·other.DX + DY·other.DY.
+func (c Angle) dot(o Angle) poly.Poly {
+	return c.DX.Mul(o.DX).Add(c.DY.Mul(o.DY))
+}
+
+// Intersections returns the times in [lo, hi] at which the two angle
+// functions are equal: the vectors are parallel (cross = 0) and similarly
+// oriented (dot > 0). Per Theorem 4.5 this is a Θ(1) computation on
+// bounded-degree polynomials.
+func (c Angle) Intersections(other Curve, lo, hi float64) ([]float64, bool) {
+	o, ok := other.(Angle)
+	if !ok {
+		panic(fmt.Sprintf("curve: Angle intersected with %T", other))
+	}
+	cr := c.cross(o)
+	dt := c.dot(o)
+	if cr.IsZero() {
+		// Always parallel. Identical iff also always similarly oriented.
+		if dt.SignAtInfinity() > 0 && len(dt.RootsNonNeg()) == 0 {
+			return nil, true
+		}
+		// Antiparallel throughout (or flips at isolated collisions):
+		// equal only where dot > 0; for bounded-degree motion this is a
+		// union of intervals, which the piecewise layer handles by
+		// domain splitting, so report no isolated intersections.
+		return nil, false
+	}
+	var times []float64
+	for _, r := range cr.Roots(lo, hi) {
+		if dt.SignAt(r) > 0 {
+			times = append(times, r)
+		}
+	}
+	return times, false
+}
+
+// AntiparallelTimes returns the times in [lo, hi] at which the two angle
+// curves differ by exactly π: vectors parallel (cross = 0) and oppositely
+// oriented (dot < 0). Used to locate a₀−d₀ = π events in Theorem 4.5.
+func (c Angle) AntiparallelTimes(o Angle, lo, hi float64) []float64 {
+	cr := c.cross(o)
+	if cr.IsZero() {
+		return nil
+	}
+	dt := c.dot(o)
+	var times []float64
+	for _, r := range cr.Roots(lo, hi) {
+		if dt.SignAt(r) < 0 {
+			times = append(times, r)
+		}
+	}
+	return times
+}
+
+// String implements Curve.
+func (c Angle) String() string {
+	return fmt.Sprintf("atan2(%s, %s)", c.DY, c.DX)
+}
+
+var (
+	_ Curve = Poly{}
+	_ Curve = Angle{}
+)

@@ -1,0 +1,73 @@
+package curve
+
+import (
+	"fmt"
+
+	"dyncg/internal/poly"
+)
+
+// Rational is a rational function of time, f(t) = Num(t)/Den(t) with
+// Den(t) > 0 for all t ≥ 0 (so f is continuous on [0, ∞)).
+//
+// It exists to exercise §6's closing generalisation: the paper's
+// algorithms apply to any function family with (1) continuity, (2) Θ(1)
+// storage, (3) Θ(1) evaluation, and (4) at most k pairwise intersections
+// computable in Θ(1) time. Bounded-degree positive-denominator rationals
+// satisfy all four — two such functions intersect where the
+// cross-multiplied polynomial Num₁·Den₂ − Num₂·Den₁ vanishes — so
+// envelopes of, e.g., inverse-square signal strengths over moving
+// transmitters (examples/influence) come for free.
+type Rational struct {
+	Num, Den poly.Poly
+}
+
+// NewRational validates and builds a rational curve. The denominator
+// must be strictly positive on [0, ∞) (continuity, §6 property 1).
+func NewRational(num, den poly.Poly) (Rational, error) {
+	if den.IsZero() {
+		return Rational{}, fmt.Errorf("curve: zero denominator")
+	}
+	if den.SignAt(0) <= 0 || den.SignAtInfinity() <= 0 {
+		return Rational{}, fmt.Errorf("curve: denominator not positive on [0, ∞)")
+	}
+	if roots := den.RootsNonNeg(); len(roots) > 0 {
+		return Rational{}, fmt.Errorf("curve: denominator vanishes at t=%v", roots[0])
+	}
+	return Rational{Num: num, Den: den}, nil
+}
+
+// MustRational is NewRational but panics on error.
+func MustRational(num, den poly.Poly) Rational {
+	r, err := NewRational(num, den)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Eval evaluates the rational function at t.
+func (c Rational) Eval(t float64) float64 { return c.Num.Eval(t) / c.Den.Eval(t) }
+
+// Intersections implements Curve: f₁ = f₂ exactly where
+// Num₁·Den₂ − Num₂·Den₁ = 0, a bounded-degree polynomial (§6 property 4).
+func (c Rational) Intersections(other Curve, lo, hi float64) ([]float64, bool) {
+	o, ok := other.(Rational)
+	if !ok {
+		panic(fmt.Sprintf("curve: Rational intersected with %T", other))
+	}
+	d := c.Num.Mul(o.Den).Sub(o.Num.Mul(c.Den))
+	if d.IsZero() {
+		return nil, true
+	}
+	return d.Roots(lo, hi), false
+}
+
+// String implements Curve.
+func (c Rational) String() string {
+	if c.Den.Degree() == 0 && c.Den.Lead() == 1 {
+		return c.Num.String()
+	}
+	return fmt.Sprintf("(%s)/(%s)", c.Num, c.Den)
+}
+
+var _ Curve = Rational{}

@@ -1,0 +1,229 @@
+// Package dsseq implements the Davenport–Schinzel machinery of §2.5: the
+// function λ(n, s) bounding the number of pieces of the minimum function
+// of n curves that pairwise intersect at most s times, the associated
+// sequence combinatorics (Definition 2.1), the inverse Ackermann function
+// α(n) (Theorem 2.3), and extremal constructions used to stress the
+// envelope algorithms.
+package dsseq
+
+import "math"
+
+// maxSat is the saturation value for the fast-growing Ackermann hierarchy.
+const maxSat = math.MaxInt64 / 4
+
+// ackRow applies the k-th Hart–Sharir function A_k to x with saturation:
+// A_1(x) = 2x and A_k(x) = A_{k-1} iterated x times starting from 1.
+func ackRow(k int, x int64) int64 {
+	if x >= maxSat {
+		return maxSat
+	}
+	if k == 1 {
+		if x > maxSat/2 {
+			return maxSat
+		}
+		return 2 * x
+	}
+	v := int64(1)
+	for i := int64(0); i < x; i++ {
+		v = ackRow(k-1, v)
+		if v >= maxSat {
+			return maxSat
+		}
+	}
+	return v
+}
+
+// InverseAckermann returns α(n), the functional inverse of the Ackermann
+// hierarchy: the least k with A_k(k) ≥ n. It is ≤ 4 for every remotely
+// practical n (Hart–Sharir 1986, quoted in §2.5: α(n) ≤ 4 for n up to a
+// tower of 65536 twos).
+func InverseAckermann(n int) int {
+	if n <= 4 {
+		return 1
+	}
+	for k := 1; ; k++ {
+		v := ackRow(k, int64(k))
+		// A saturated row dominates every representable n.
+		if v >= maxSat || v >= int64(n) {
+			return k
+		}
+	}
+}
+
+// Lambda returns λ(n, s) where it is known exactly (Theorem 2.3):
+// λ(n, 0) = 1, λ(n, 1) = n, λ(n, 2) = 2n − 1. For s ≥ 3 it returns the
+// value of LambdaBound; exact values for s ≥ 3 are only known
+// asymptotically (Θ(n·α(n)) for s = 3).
+func Lambda(n, s int) int {
+	if n <= 0 {
+		return 0
+	}
+	switch s {
+	case 0:
+		return 1
+	case 1:
+		return n
+	case 2:
+		return 2*n - 1
+	}
+	if n == 1 {
+		return 1
+	}
+	return LambdaBound(n, s)
+}
+
+// LambdaBound returns a safe upper bound on λ(n, s), used to size the
+// processor allocations λ_M(n, s) and λ_H(n, s) of §3. For s ≥ 3 the true
+// value is Θ(n·α(n)) (s = 3) or O(n·α(n)^{O(α(n)^{s−3})}) (Sharir 1987);
+// for every n a simulator can hold, α(n) ≤ 4, so s·n·(α(n)+1) is a
+// comfortable and honest bound.
+func LambdaBound(n, s int) int {
+	if n <= 0 {
+		return 0
+	}
+	switch s {
+	case 0:
+		return 1
+	case 1:
+		return n
+	case 2:
+		return 2*n - 1
+	}
+	return s * n * (InverseAckermann(n) + 1)
+}
+
+// LambdaMesh returns λ_M(n, s) = 4^⌈log₄ λ(n,s)⌉, the smallest power of
+// four that accommodates λ(n, s) PEs (§3).
+func LambdaMesh(n, s int) int { return NextPow4(LambdaBound(n, s)) }
+
+// LambdaCube returns λ_H(n, s) = 2^⌈log₂ λ(n,s)⌉ (§3).
+func LambdaCube(n, s int) int { return NextPow2(LambdaBound(n, s)) }
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NextPow4 returns the smallest power of four ≥ n (and ≥ 1).
+func NextPow4(n int) int {
+	p := 1
+	for p < n {
+		p <<= 2
+	}
+	return p
+}
+
+// IsDSSequence reports whether seq (symbols in [0, n)) is an (n, s)
+// Davenport–Schinzel sequence in the sense of Definition 2.1: no two equal
+// adjacent symbols and no alternating subsequence a…b…a…b… of length
+// s + 2 for distinct a, b.
+func IsDSSequence(seq []int, n, s int) bool {
+	for i, a := range seq {
+		if a < 0 || a >= n {
+			return false
+		}
+		if i > 0 && seq[i-1] == a {
+			return false
+		}
+	}
+	// For each ordered pair (a, b), the longest alternation starting with a
+	// is found by a single scan. Quadratic in n, linear in len(seq): fine
+	// for validation purposes.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			alt := 0 // length of longest alternation a b a b … seen so far
+			for _, x := range seq {
+				if alt%2 == 0 && x == a {
+					alt++
+				} else if alt%2 == 1 && x == b {
+					alt++
+				}
+				if alt >= s+2 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MaxAlternation returns the length of the longest alternating
+// subsequence a…b…a…b… over all pairs of distinct symbols in seq.
+func MaxAlternation(seq []int, n int) int {
+	best := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			alt := 0
+			for _, x := range seq {
+				if alt%2 == 0 && x == a {
+					alt++
+				} else if alt%2 == 1 && x == b {
+					alt++
+				}
+			}
+			if alt > best {
+				best = alt
+			}
+		}
+	}
+	return best
+}
+
+// ExtremalS1 returns the extremal (n, 1) DS-sequence 0, 1, …, n−1 of
+// length λ(n, 1) = n.
+func ExtremalS1(n int) []int {
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	return seq
+}
+
+// ExtremalS2 returns the extremal (n, 2) DS-sequence
+// 0, 1, …, n−2, n−1, n−2, …, 1, 0 of length λ(n, 2) = 2n − 1.
+func ExtremalS2(n int) []int {
+	seq := make([]int, 0, 2*n-1)
+	for i := 0; i < n; i++ {
+		seq = append(seq, i)
+	}
+	for i := n - 2; i >= 0; i-- {
+		seq = append(seq, i)
+	}
+	return seq
+}
+
+// ExactLambdaSmall computes λ(n, s) exactly by exhaustive search. It is
+// exponential and intended only for tiny parameters in tests (n ≤ 5,
+// s ≤ 3), where it certifies the closed forms of Theorem 2.3.
+func ExactLambdaSmall(n, s int) int {
+	best := 0
+	var seq []int
+	var dfs func()
+	dfs = func() {
+		if len(seq) > best {
+			best = len(seq)
+		}
+		for c := 0; c < n; c++ {
+			if len(seq) > 0 && seq[len(seq)-1] == c {
+				continue
+			}
+			seq = append(seq, c)
+			if IsDSSequence(seq, n, s) {
+				dfs()
+			}
+			seq = seq[:len(seq)-1]
+		}
+	}
+	dfs()
+	return best
+}

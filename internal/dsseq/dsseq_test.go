@@ -1,0 +1,186 @@
+package dsseq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyncg/internal/curve"
+	"dyncg/internal/pieces"
+)
+
+func TestInverseAckermannTiny(t *testing.T) {
+	// α is monotone nondecreasing and ≤ 4 for any machine-sized n.
+	prev := 0
+	for _, n := range []int{1, 2, 4, 8, 16, 1 << 20, 1 << 40, 1 << 62} {
+		a := InverseAckermann(n)
+		if a < prev {
+			t.Fatalf("α not monotone at n=%d: %d < %d", n, a, prev)
+		}
+		if a > 4 {
+			t.Fatalf("α(%d) = %d > 4", n, a)
+		}
+		prev = a
+	}
+}
+
+func TestLambdaClosedForms(t *testing.T) {
+	for n := 1; n <= 100; n++ {
+		if Lambda(n, 1) != n {
+			t.Fatalf("λ(%d,1) = %d, want %d", n, Lambda(n, 1), n)
+		}
+		if Lambda(n, 2) != 2*n-1 {
+			t.Fatalf("λ(%d,2) = %d, want %d", n, Lambda(n, 2), 2*n-1)
+		}
+		if Lambda(n, 0) != 1 {
+			t.Fatalf("λ(%d,0) = %d, want 1", n, Lambda(n, 0))
+		}
+	}
+}
+
+func TestExactLambdaMatchesClosedForms(t *testing.T) {
+	// Brute force certifies Theorem 2.3's closed forms on tiny inputs.
+	for n := 1; n <= 4; n++ {
+		if got := ExactLambdaSmall(n, 1); got != n {
+			t.Errorf("exact λ(%d,1) = %d, want %d", n, got, n)
+		}
+		if got := ExactLambdaSmall(n, 2); got != 2*n-1 {
+			t.Errorf("exact λ(%d,2) = %d, want %d", n, got, 2*n-1)
+		}
+	}
+	// λ(2, s) = s + 1 (two functions crossing s times: s+1 pieces).
+	for s := 1; s <= 4; s++ {
+		if got := ExactLambdaSmall(2, s); got != s+1 {
+			t.Errorf("exact λ(2,%d) = %d, want %d", s, got, s+1)
+		}
+	}
+}
+
+func TestLemma24Superadditivity(t *testing.T) {
+	// Lemma 2.4: 2λ(n, s) ≤ λ(2n, s) — for the closed forms and bound.
+	for n := 1; n <= 64; n++ {
+		for s := 1; s <= 4; s++ {
+			if 2*Lambda(n, s) > Lambda(2*n, s) {
+				t.Fatalf("2λ(%d,%d)=%d > λ(%d,%d)=%d",
+					n, s, 2*Lambda(n, s), 2*n, s, Lambda(2*n, s))
+			}
+		}
+	}
+}
+
+func TestIsDSSequence(t *testing.T) {
+	// The paper's example: a1 a2 a1 a3 a1 ∉ L(3,2) since a1a2a1a2… wait —
+	// the text's example is z = a1 a2 a3 a1 a2 (0-indexed: 0 1 2 0 1),
+	// containing E12 = 0101 as a subsequence? With s = 2 the forbidden
+	// alternation has length s + 2 = 4: 0 1 0 1. The sequence 0 1 2 0 1
+	// contains 0 1 0 1. So it must be rejected for s = 2.
+	if IsDSSequence([]int{0, 1, 2, 0, 1}, 3, 2) {
+		t.Error("0 1 2 0 1 should not be a (3,2) DS-sequence")
+	}
+	if !IsDSSequence([]int{0, 1, 2, 1, 0}, 3, 2) {
+		t.Error("0 1 2 1 0 is a valid (3,2) DS-sequence")
+	}
+	if IsDSSequence([]int{0, 0}, 2, 3) {
+		t.Error("immediate repetition must be rejected")
+	}
+	if IsDSSequence([]int{0, 5}, 2, 3) {
+		t.Error("out-of-alphabet symbol must be rejected")
+	}
+}
+
+func TestExtremalSequencesAreValidAndExtremal(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		s1 := ExtremalS1(n)
+		if len(s1) != Lambda(n, 1) || !IsDSSequence(s1, n, 1) {
+			t.Fatalf("ExtremalS1(%d) invalid", n)
+		}
+		s2 := ExtremalS2(n)
+		if len(s2) != Lambda(n, 2) || !IsDSSequence(s2, n, 2) {
+			t.Fatalf("ExtremalS2(%d) invalid: len=%d", n, len(s2))
+		}
+	}
+}
+
+// Property: random subsequence deletion preserves DS-validity.
+func TestDSClosedUnderDeletionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		seq := ExtremalS2(n)
+		// Delete a random element and collapse any adjacent repeats.
+		i := r.Intn(len(seq))
+		del := append(append([]int{}, seq[:i]...), seq[i+1:]...)
+		var collapsed []int
+		for _, x := range del {
+			if len(collapsed) == 0 || collapsed[len(collapsed)-1] != x {
+				collapsed = append(collapsed, x)
+			}
+		}
+		return IsDSSequence(collapsed, n, 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremalParabolasAttainBound(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 12, 16, 24} {
+		ps := ExtremalParabolas(n)
+		cs := make([]curve.Curve, n)
+		for i, p := range ps {
+			cs[i] = curve.NewPoly(p)
+		}
+		env := pieces.EnvelopeOfCurves(cs, pieces.Min)
+		if len(env) != 2*n-1 {
+			t.Fatalf("n=%d: envelope has %d pieces, want λ(n,2)=%d\n%v",
+				n, len(env), 2*n-1, env)
+		}
+		// The visiting order must itself be a (n,2) DS-sequence.
+		if !IsDSSequence(env.IDs(), n, 2) {
+			t.Fatalf("n=%d: piece sequence %v is not a (n,2) DS-sequence",
+				n, env.IDs())
+		}
+	}
+}
+
+func TestSortedLinesAttainBound(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 32} {
+		ps := SortedLines(n)
+		cs := make([]curve.Curve, n)
+		for i, p := range ps {
+			cs[i] = curve.NewPoly(p)
+		}
+		env := pieces.EnvelopeOfCurves(cs, pieces.Min)
+		if len(env) != n {
+			t.Fatalf("n=%d: envelope has %d pieces, want λ(n,1)=%d",
+				n, len(env), n)
+		}
+		if !IsDSSequence(env.IDs(), n, 1) {
+			t.Fatalf("n=%d: piece order %v not a (n,1) DS-sequence", n, env.IDs())
+		}
+	}
+}
+
+func TestPowHelpers(t *testing.T) {
+	if NextPow2(1) != 1 || NextPow2(3) != 4 || NextPow2(8) != 8 {
+		t.Fatal("NextPow2 broken")
+	}
+	if NextPow4(1) != 1 || NextPow4(5) != 16 || NextPow4(16) != 16 || NextPow4(17) != 64 {
+		t.Fatal("NextPow4 broken")
+	}
+	if LambdaMesh(10, 1) != 16 || LambdaCube(10, 1) != 16 {
+		t.Fatal("λ_M/λ_H broken for s=1")
+	}
+	if LambdaMesh(10, 2) != 64 || LambdaCube(10, 2) != 32 {
+		t.Fatalf("λ_M(10,2)=%d λ_H(10,2)=%d", LambdaMesh(10, 2), LambdaCube(10, 2))
+	}
+}
+
+func TestMaxAlternation(t *testing.T) {
+	if got := MaxAlternation([]int{0, 1, 0, 1, 0}, 2); got != 5 {
+		t.Fatalf("MaxAlternation = %d, want 5", got)
+	}
+	if got := MaxAlternation([]int{0, 0, 0}, 2); got != 1 {
+		t.Fatalf("MaxAlternation single symbol = %d, want 1", got)
+	}
+}

@@ -1,0 +1,54 @@
+package dsseq
+
+import (
+	"math"
+
+	"dyncg/internal/poly"
+)
+
+// ExtremalParabolas returns n upward parabolas whose lower envelope on
+// [0, ∞) attains the Davenport–Schinzel bound λ(n, 2) = 2n − 1 pieces
+// (Lemma 2.2: the bound is best possible).
+//
+// Construction: f_i(t) = ε_i·(t − C)² + i with widths ε_i = 1/(i+1)²
+// strictly decreasing. Near the common centre C the steepest parabola
+// (smallest additive term) wins; moving away from C the envelope hands
+// over to successively flatter parabolas at radii
+// R_{i,i+1}² = 1/(ε_i − ε_{i+1}), which are strictly increasing. With C
+// larger than the largest hand-over radius, every hand-over also happens
+// at a positive time, so the envelope visits the functions in the order
+// n−1, …, 1, 0, 1, …, n−1: exactly 2n − 1 pieces.
+func ExtremalParabolas(n int) []poly.Poly {
+	if n <= 0 {
+		return nil
+	}
+	maxR := 0.0
+	if n >= 2 {
+		e := func(i int) float64 { return 1 / float64((i+1)*(i+1)) }
+		maxR = math.Sqrt(1 / (e(n-2) - e(n-1)))
+	}
+	c := maxR + 1
+	ps := make([]poly.Poly, n)
+	for i := range ps {
+		eps := 1 / float64((i+1)*(i+1))
+		// ε(t−C)² + i expanded in t.
+		ps[i] = poly.New(eps*c*c+float64(i), -2*eps*c, eps)
+	}
+	return ps
+}
+
+// SortedLines returns n lines with distinct slopes whose lower envelope
+// attains λ(n, 1) = n pieces: line i has slope n−i and is lowest on the
+// i-th time band.
+func SortedLines(n int) []poly.Poly {
+	ps := make([]poly.Poly, n)
+	for i := range ps {
+		slope := float64(n - i)
+		// Intercepts b_i = i(i+1)/2 make consecutive lines cross at
+		// t = i + 1/2, so the lower envelope visits line 0, 1, …, n−1 in
+		// order: n pieces.
+		intercept := float64(i*(i+1)) / 2
+		ps[i] = poly.New(intercept, slope)
+	}
+	return ps
+}

@@ -1,0 +1,285 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyncg/internal/poly"
+	"dyncg/internal/ratfun"
+)
+
+func fp(x, y float64, id int) Point[ratfun.F64] {
+	return Point[ratfun.F64]{X: ratfun.F64(x), Y: ratfun.F64(y), ID: id}
+}
+
+func randPts(r *rand.Rand, n int) []Point[ratfun.F64] {
+	pts := make([]Point[ratfun.F64], n)
+	for i := range pts {
+		pts[i] = fp(r.NormFloat64()*10, r.NormFloat64()*10, i)
+	}
+	return pts
+}
+
+func TestOrient(t *testing.T) {
+	a, b := fp(0, 0, 0), fp(1, 0, 1)
+	if Orient(a, b, fp(1, 1, 2)) != 1 {
+		t.Error("left turn not detected")
+	}
+	if Orient(a, b, fp(1, -1, 2)) != -1 {
+		t.Error("right turn not detected")
+	}
+	if Orient(a, b, fp(2, 0, 2)) != 0 {
+		t.Error("collinear not detected")
+	}
+}
+
+func TestHullSquare(t *testing.T) {
+	pts := []Point[ratfun.F64]{
+		fp(0, 0, 0), fp(2, 0, 1), fp(2, 2, 2), fp(0, 2, 3),
+		fp(1, 1, 4), // interior
+		fp(1, 0, 5), // on edge: not extreme
+	}
+	h := Hull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull = %v", h)
+	}
+	ids := map[int]bool{}
+	for _, p := range h {
+		ids[p.ID] = true
+	}
+	for _, want := range []int{0, 1, 2, 3} {
+		if !ids[want] {
+			t.Fatalf("extreme point %d missing from %v", want, h)
+		}
+	}
+	// CCW orientation.
+	for i := 0; i < len(h); i++ {
+		if Orient(h[i], h[(i+1)%4], h[(i+2)%4]) != 1 {
+			t.Fatal("hull not CCW")
+		}
+	}
+}
+
+func TestHullDegenerate(t *testing.T) {
+	if h := Hull([]Point[ratfun.F64]{fp(1, 1, 0)}); len(h) != 1 {
+		t.Fatalf("single point hull = %v", h)
+	}
+	// All collinear.
+	h := Hull([]Point[ratfun.F64]{fp(0, 0, 0), fp(1, 1, 1), fp(2, 2, 2), fp(3, 3, 3)})
+	if len(h) != 2 {
+		t.Fatalf("collinear hull = %v", h)
+	}
+	// Duplicates collapse.
+	h = Hull([]Point[ratfun.F64]{fp(0, 0, 0), fp(0, 0, 1), fp(1, 0, 2), fp(0, 1, 3)})
+	if len(h) != 3 {
+		t.Fatalf("dup hull = %v", h)
+	}
+}
+
+// Property: every input point lies inside or on the hull, and every hull
+// vertex is an input point.
+func TestHullContainmentProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		pts := randPts(r, 3+r.Intn(40))
+		h := Hull(pts)
+		if len(h) < 2 {
+			continue
+		}
+		for _, p := range pts {
+			for i := 0; i < len(h); i++ {
+				if len(h) > 2 && Orient(h[i], h[(i+1)%len(h)], p) < 0 {
+					t.Fatalf("trial %d: point %v outside hull edge %d", trial, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestIsExtreme(t *testing.T) {
+	pts := []Point[ratfun.F64]{fp(0, 0, 0), fp(4, 0, 1), fp(0, 4, 2)}
+	if !IsExtreme(pts, fp(5, 5, 9)) {
+		t.Error("outside point should be extreme")
+	}
+	if IsExtreme(pts, fp(1, 1, 9)) {
+		t.Error("interior point should not be extreme")
+	}
+}
+
+func TestNearestAndFarthest(t *testing.T) {
+	pts := []Point[ratfun.F64]{fp(1, 0, 0), fp(5, 0, 1), fp(-2, 0, 2)}
+	q := fp(0, 0, 9)
+	if got := NearestTo(pts, q); got != 0 {
+		t.Fatalf("NearestTo = %d", got)
+	}
+	if got := FarthestFrom(pts, q); got != 1 {
+		t.Fatalf("FarthestFrom = %d", got)
+	}
+}
+
+// Property: divide-and-conquer closest pair agrees with brute force.
+func TestClosestPairProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 100; trial++ {
+		pts := randPts(r, 2+r.Intn(60))
+		i, j, d2 := ClosestPair(pts)
+		if i == j {
+			t.Fatalf("trial %d: degenerate pair", trial)
+		}
+		want := ratfun.F64(math.Inf(1))
+		for a := range pts {
+			for b := a + 1; b < len(pts); b++ {
+				if d := DistSq(pts[a], pts[b]); d < want {
+					want = d
+				}
+			}
+		}
+		if d2.Cmp(want) != 0 {
+			t.Fatalf("trial %d: d²=%v, want %v", trial, d2, want)
+		}
+		if DistSq(pts[i], pts[j]).Cmp(d2) != 0 {
+			t.Fatalf("trial %d: returned pair does not realise d²", trial)
+		}
+	}
+}
+
+// Property: diameter from antipodal pairs equals brute-force max distance.
+func TestDiameterProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 100; trial++ {
+		pts := randPts(r, 3+r.Intn(40))
+		h := Hull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		d2, pair := Diameter(h)
+		want := ratfun.F64(0)
+		for a := range pts {
+			for b := range pts {
+				if d := DistSq(pts[a], pts[b]); d > want {
+					want = d
+				}
+			}
+		}
+		if d2.Cmp(want) != 0 {
+			t.Fatalf("trial %d: diameter² %v, want %v (pair %v)", trial, d2, want, pair)
+		}
+	}
+}
+
+func TestAntipodalSectors(t *testing.T) {
+	// Figure 6: on a square every vertex pair across the diagonal is
+	// antipodal, and adjacent vertices are antipodal too (parallel edges).
+	h := []Point[ratfun.F64]{fp(0, 0, 0), fp(2, 0, 1), fp(2, 2, 2), fp(0, 2, 3)}
+	pairs := AntipodalPairs(h)
+	want := map[[2]int]bool{
+		{0, 2}: true, {1, 3}: true, // diagonals
+		{0, 1}: true, {1, 2}: true, {2, 3}: true, {0, 3}: true, // parallel edges
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Fatalf("unexpected pair %v", p)
+		}
+	}
+}
+
+// Property: the min-area rectangle contains every point, has a hull edge
+// on its boundary, and beats a brute-force rotation sweep up to sampling.
+func TestMinAreaRectProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 60; trial++ {
+		pts := randPts(r, 3+r.Intn(30))
+		h := Hull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		rect := MinAreaRect(h)
+		if rect.Area.Sign() <= 0 {
+			t.Fatalf("trial %d: nonpositive area %v", trial, rect.Area)
+		}
+		for _, p := range pts {
+			// Tolerance-aware containment: hull vertices sit exactly on
+			// the rectangle boundary and float rounding may push the
+			// cross product marginally negative.
+			for i := 0; i < 4; i++ {
+				a, b := rect.Corners[i], rect.Corners[(i+1)%4]
+				cr := Cross(b.Sub(a), p.Sub(a))
+				scale := DistSq(a, b)
+				if float64(cr) < -1e-6*float64(scale) {
+					t.Fatalf("trial %d: point %v outside rectangle %v (cr=%v)",
+						trial, p, rect.Corners, cr)
+				}
+			}
+		}
+		// Sampled rotation sweep can only be ≥ the reported minimum (up
+		// to a tolerance, since samples include the optimal edge angles).
+		for e := 0; e < len(h); e++ {
+			p, q := h[e], h[(e+1)%len(h)]
+			u := q.Sub(p)
+			uu := Dot(u, u)
+			minP, maxP := Dot(h[0].Sub(p), u), Dot(h[0].Sub(p), u)
+			maxH := Cross(u, h[0].Sub(p))
+			for _, v := range h {
+				pr := Dot(v.Sub(p), u)
+				if pr < minP {
+					minP = pr
+				}
+				if pr > maxP {
+					maxP = pr
+				}
+				if cr := Cross(u, v.Sub(p)); cr > maxH {
+					maxH = cr
+				}
+			}
+			area := (maxP - minP) * maxH / uu
+			if area < rect.Area*(1-1e-9) {
+				t.Fatalf("trial %d: edge %d rectangle %v smaller than min %v",
+					trial, e, area, rect.Area)
+			}
+		}
+	}
+}
+
+// TestSteadyStateInstance: the same generic code runs over the rational-
+// function field — the Lemma 5.1 reduction. Two points diverge linearly;
+// in steady state the faster one is farther from the origin point.
+func TestSteadyStateInstance(t *testing.T) {
+	mk := func(x, y poly.Poly, id int) Point[ratfun.RatFun] {
+		return Point[ratfun.RatFun]{X: ratfun.FromPoly(x), Y: ratfun.FromPoly(y), ID: id}
+	}
+	origin := mk(poly.New(0), poly.New(0), 9)
+	pts := []Point[ratfun.RatFun]{
+		mk(poly.New(100), poly.New(0), 0),    // static, initially far
+		mk(poly.New(1, 1), poly.New(0), 1),   // drifts away at speed 1
+		mk(poly.New(0, 0.1), poly.New(0), 2), // slow drift
+	}
+	if got := FarthestFrom(pts, origin); got != 1 {
+		t.Fatalf("steady-state farthest = %d, want 1", got)
+	}
+	// Both drifting points end up arbitrarily far; the static point,
+	// though initially farthest, is the steady-state nearest.
+	if got := NearestTo(pts, origin); got != 0 {
+		t.Fatalf("steady-state nearest = %d, want 0", got)
+	}
+	// Steady-state hull of four points where one is eventually inside.
+	sq := []Point[ratfun.RatFun]{
+		mk(poly.New(0, -1), poly.New(0, -1), 0),
+		mk(poly.New(0, 1), poly.New(0, -1), 1),
+		mk(poly.New(0, 1), poly.New(0, 1), 2),
+		mk(poly.New(0, -1), poly.New(0, 1), 3),
+		mk(poly.New(50), poly.New(0), 4), // static: eventually interior
+	}
+	h := Hull(sq)
+	if len(h) != 4 {
+		t.Fatalf("steady hull size = %d: %v", len(h), h)
+	}
+	for _, p := range h {
+		if p.ID == 4 {
+			t.Fatal("static point should not be extreme in steady state")
+		}
+	}
+}

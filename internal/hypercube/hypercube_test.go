@@ -1,0 +1,121 @@
+package hypercube
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestNewRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, -2, 3, 6, 12} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if _, err := New(n); err != nil {
+			t.Errorf("New(%d) rejected: %v", n, err)
+		}
+	}
+}
+
+// TestGrayCodeDefinition checks the closed form against the paper's
+// recursive definition of the binary reflected Gray code (§2.3).
+func TestGrayCodeDefinition(t *testing.T) {
+	var rec func(k, j int) int
+	rec = func(k, j int) int {
+		if k == 0 {
+			return 0
+		}
+		if j < 1<<(k-1) {
+			return rec(k-1, j)
+		}
+		return 1<<(k-1) + rec(k-1, 1<<k-1-j)
+	}
+	for k := 0; k <= 8; k++ {
+		for j := 0; j < 1<<k; j++ {
+			if Gray(j) != rec(k, j) {
+				t.Fatalf("Gray(%d) = %d, recursive = %d (k=%d)",
+					j, Gray(j), rec(k, j), k)
+			}
+		}
+	}
+}
+
+func TestGrayInverse(t *testing.T) {
+	for j := 0; j < 4096; j++ {
+		if GrayInverse(Gray(j)) != j {
+			t.Fatalf("Gray roundtrip failed at %d", j)
+		}
+	}
+}
+
+// TestConsecutiveLabelsAdjacent: the property the paper relabels for —
+// consecutive Gray labels are hypercube neighbours.
+func TestConsecutiveLabelsAdjacent(t *testing.T) {
+	c := MustNew(256)
+	for i := 0; i+1 < c.Size(); i++ {
+		if c.Distance(i, i+1) != 1 {
+			t.Fatalf("labels %d,%d at distance %d", i, i+1, c.Distance(i, i+1))
+		}
+	}
+}
+
+// TestSubcubeProperty: every aligned block of 2^j consecutive labels is a
+// subcube (its node numbers agree outside j low bits).
+func TestSubcubeProperty(t *testing.T) {
+	c := MustNew(256)
+	for blk := 2; blk <= c.Size(); blk *= 2 {
+		for start := 0; start < c.Size(); start += blk {
+			ref := Gray(start) &^ (blk - 1)
+			for i := start; i < start+blk; i++ {
+				if Gray(i)&^(blk-1) != ref {
+					t.Fatalf("block [%d,%d): label %d (node %b) outside subcube %b",
+						start, start+blk, i, Gray(i), ref)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure3Adjacency pins the hypercube link structure for sizes
+// 2, 4, 8 of Figure 3: node numbers differing in one bit are linked.
+func TestFigure3Adjacency(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		c := MustNew(n)
+		for i := 0; i < n; i++ {
+			nbs := c.Neighbors(i)
+			if len(nbs) != c.Dim() {
+				t.Fatalf("n=%d: PE %d has %d neighbours, want %d",
+					n, i, len(nbs), c.Dim())
+			}
+			for _, j := range nbs {
+				if bits.OnesCount(uint(Gray(i)^Gray(j))) != 1 {
+					t.Fatalf("n=%d: neighbours %d,%d differ in >1 bit", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	c := MustNew(1024)
+	if c.Diameter() != 10 {
+		t.Fatalf("diameter = %d, want 10", c.Diameter())
+	}
+	// All-ones node is at distance dim from node 0.
+	far := c.Label(1023)
+	if d := c.Distance(c.Label(0), far); d != 10 {
+		t.Fatalf("antipodal distance = %d, want 10", d)
+	}
+}
+
+// TestXorBitCost: every bitonic exchange partner is within 2 hops under
+// Gray labelling, so each sort round is O(1) communication.
+func TestXorBitCost(t *testing.T) {
+	c := MustNew(1024)
+	for b := 0; b < c.Dim(); b++ {
+		if d := c.MaxDistanceForXorBit(b); d > 2 {
+			t.Fatalf("bit %d partner distance %d > 2", b, d)
+		}
+	}
+}

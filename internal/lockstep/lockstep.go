@@ -1,0 +1,237 @@
+// Package lockstep is a goroutine-per-PE realisation of the paper's SIMD
+// machines: every processing element is a goroutine, every communication
+// link is a channel, and execution proceeds in synchronous supersteps
+// (compute → exchange → barrier), the way the MPP/CM-2 class machines of
+// §1 operate.
+//
+// It exists for fidelity: internal/machine simulates the same algorithms
+// as vectorised register-file operations with cost accounting (fast, used
+// for the benchmark tables), while this package actually runs PEs
+// concurrently and only lets messages travel along links between
+// *consecutively indexed* PEs — legal single hops under both the mesh's
+// proximity indexing (§2.2, property 1) and the hypercube's Gray-code
+// labelling (§2.3), which is precisely why the paper chooses those
+// orderings. Tests cross-validate the two implementations.
+package lockstep
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Msg is a value exchanged between adjacent PEs in one superstep.
+type Msg any
+
+// PE is the per-processor state visible to a step function.
+type PE struct {
+	ID   int
+	N    int
+	Recv map[int]Msg // messages delivered at the end of the previous superstep
+	Mem  any         // local memory
+}
+
+// Step is one superstep of a SIMD program: it may read Recv and Mem, and
+// returns the messages to send this round (keyed by destination PE).
+// Destinations must be ID−1 or ID+1: the linear-array links guaranteed by
+// proximity/Gray ordering.
+type Step func(pe *PE) map[int]Msg
+
+// Runtime executes programs over n PE goroutines.
+type Runtime struct {
+	n        int
+	pes      []*PE
+	adjacent func(a, b int) bool // legal links; nil means linear array
+}
+
+// New returns a runtime with n PEs and per-PE local memory initialised
+// by mem (may be nil).
+func New(n int, mem func(id int) any) *Runtime {
+	r := &Runtime{n: n, pes: make([]*PE, n)}
+	for i := range r.pes {
+		r.pes[i] = &PE{ID: i, N: n, Recv: map[int]Msg{}}
+		if mem != nil {
+			r.pes[i].Mem = mem(i)
+		}
+	}
+	return r
+}
+
+// Size returns the number of PEs.
+func (r *Runtime) Size() int { return r.n }
+
+// PEState returns PE i's local memory (for observation after a run).
+func (r *Runtime) PEState(i int) any { return r.pes[i].Mem }
+
+// Run executes `steps` supersteps of the program. In each superstep all
+// PE goroutines run concurrently; their outgoing messages are validated
+// against the linear-array links and delivered at the barrier.
+func (r *Runtime) Run(steps int, program Step) error {
+	type envelope struct {
+		from, to int
+		m        Msg
+	}
+	for s := 0; s < steps; s++ {
+		outs := make([][]envelope, r.n)
+		var wg sync.WaitGroup
+		wg.Add(r.n)
+		for i := 0; i < r.n; i++ {
+			go func(pe *PE, slot *[]envelope) {
+				defer wg.Done()
+				sends := program(pe)
+				for to, m := range sends {
+					*slot = append(*slot, envelope{pe.ID, to, m})
+				}
+			}(r.pes[i], &outs[i])
+		}
+		wg.Wait()
+		// Barrier: validate links and deliver.
+		inbox := make([]map[int]Msg, r.n)
+		for i := range inbox {
+			inbox[i] = map[int]Msg{}
+		}
+		for _, es := range outs {
+			for _, e := range es {
+				if e.to < 0 || e.to >= r.n {
+					return fmt.Errorf("lockstep: PE %d sent off-machine to %d", e.from, e.to)
+				}
+				legal := e.to == e.from-1 || e.to == e.from+1
+				if r.adjacent != nil {
+					legal = r.adjacent(e.from, e.to)
+				}
+				if !legal {
+					return fmt.Errorf("lockstep: PE %d sent to non-neighbour %d at step %d",
+						e.from, e.to, s)
+				}
+				inbox[e.to][e.from] = e.m
+			}
+		}
+		for i, pe := range r.pes {
+			pe.Recv = inbox[i]
+		}
+	}
+	return nil
+}
+
+// --- Canonical programs ------------------------------------------------
+
+// OddEvenTranspositionSort sorts one int per PE in n supersteps by
+// odd-even transposition along the linear order — the classic mesh-array
+// sort the paper's snake/proximity orderings enable. It returns the
+// sorted values.
+func OddEvenTranspositionSort(vals []int) ([]int, error) {
+	n := len(vals)
+	type mem struct{ v int }
+	r := New(n, func(id int) any { return &mem{v: vals[id]} })
+	phase := 0
+	step := func(pe *PE) map[int]Msg {
+		m := pe.Mem.(*mem)
+		// Incorporate the exchange decided last round.
+		for from, raw := range pe.Recv {
+			v := raw.(int)
+			if from < pe.ID && v > m.v {
+				m.v = v // left neighbour pushed its larger value right
+			}
+			if from > pe.ID && v < m.v {
+				m.v = v
+			}
+		}
+		// Decide partner for this round and send our value.
+		var partner int
+		if (pe.ID+phase)%2 == 0 {
+			partner = pe.ID + 1
+		} else {
+			partner = pe.ID - 1
+		}
+		if partner < 0 || partner >= pe.N {
+			return nil
+		}
+		return map[int]Msg{partner: m.v}
+	}
+	// Each transposition needs a send round and an update; interleave by
+	// alternating phase after every superstep pair.
+	for round := 0; round < n+1; round++ {
+		if err := r.Run(1, step); err != nil {
+			return nil, err
+		}
+		// Resolve the exchange synchronously at the barrier by one more
+		// local pass (no sends).
+		if err := r.Run(1, func(pe *PE) map[int]Msg {
+			m := pe.Mem.(*mem)
+			for from, raw := range pe.Recv {
+				v := raw.(int)
+				if from < pe.ID && v > m.v {
+					m.v = v
+				}
+				if from > pe.ID && v < m.v {
+					m.v = v
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		phase ^= 1
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.PEState(i).(*mem).v
+	}
+	return out, nil
+}
+
+// ChainSemigroup applies an associative op over one value per PE using
+// only neighbour links: a left-to-right accumulate followed by a
+// right-to-left broadcast, 2(n−1) supersteps, and returns the value held
+// by every PE (they all agree).
+func ChainSemigroup(vals []int, op func(a, b int) int) ([]int, error) {
+	n := len(vals)
+	type mem struct {
+		v      int
+		acc    int
+		hasAcc bool
+		total  int
+		hasTot bool
+	}
+	r := New(n, func(id int) any {
+		m := &mem{v: vals[id], acc: vals[id]}
+		m.hasAcc = id == 0
+		return m
+	})
+	step := func(pe *PE) map[int]Msg {
+		m := pe.Mem.(*mem)
+		for from, raw := range pe.Recv {
+			switch {
+			case from == pe.ID-1 && !m.hasAcc:
+				m.acc = op(raw.(int), m.v)
+				m.hasAcc = true
+			case from == pe.ID+1 && !m.hasTot:
+				m.total = raw.(int)
+				m.hasTot = true
+			}
+		}
+		if pe.ID == pe.N-1 && m.hasAcc && !m.hasTot {
+			m.total = m.acc
+			m.hasTot = true
+		}
+		sends := map[int]Msg{}
+		if m.hasAcc && pe.ID+1 < pe.N {
+			sends[pe.ID+1] = m.acc
+		}
+		if m.hasTot && pe.ID-1 >= 0 {
+			sends[pe.ID-1] = m.total
+		}
+		return sends
+	}
+	if err := r.Run(2*n+2, step); err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		m := r.PEState(i).(*mem)
+		if !m.hasTot {
+			return nil, fmt.Errorf("lockstep: PE %d never received the total", i)
+		}
+		out[i] = m.total
+	}
+	return out, nil
+}

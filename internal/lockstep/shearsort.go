@@ -1,0 +1,160 @@
+package lockstep
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file runs a genuinely two-dimensional program on the goroutine
+// runtime: shearsort on a √n×√n mesh whose PEs may only talk to their
+// lattice neighbours — the communication structure of Figure 1. It
+// complements the linear-array programs (odd-even transposition,
+// chain semigroup) by exercising row AND column links, and serves as the
+// fidelity check for the vector simulator's mesh sorts.
+
+// NewMesh2D returns a runtime whose legal links are the 4-neighbour
+// lattice links of a side×side mesh in row-major layout.
+func NewMesh2D(side int, mem func(id int) any) *Runtime {
+	r := New(side*side, mem)
+	r.adjacent = func(a, b int) bool {
+		ar, ac := a/side, a%side
+		br, bc := b/side, b%side
+		dr, dc := ar-br, ac-bc
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		return dr+dc == 1
+	}
+	return r
+}
+
+// ShearSort sorts side² values into snake order (§2.2's snake-like
+// indexing) on a lock-step side×side mesh of goroutine PEs: ⌈log₂ side⌉+1
+// alternating phases of row sorts (snake direction) and column sorts,
+// each phase side rounds of odd-even transposition over lattice links —
+// the classic Θ(√n·log n) mesh sort, within a log factor of the
+// simulator's bitonic Θ(√n).
+func ShearSort(side int, vals []int) ([]int, error) {
+	if len(vals) != side*side {
+		return nil, fmt.Errorf("lockstep: %d values for a %d×%d mesh", len(vals), side, side)
+	}
+	type mem struct{ v int }
+	r := NewMesh2D(side, func(id int) any { return &mem{v: vals[id]} })
+
+	// One odd-even transposition round along rows (dir depends on row
+	// parity: even rows ascend left→right, odd rows descend) or columns.
+	exchange := func(rowPhase bool, parity int) error {
+		step := func(pe *PE) map[int]Msg {
+			m := pe.Mem.(*mem)
+			row, col := pe.ID/side, pe.ID%side
+			partner := -1
+			if rowPhase {
+				if (col+parity)%2 == 0 && col+1 < side {
+					partner = pe.ID + 1
+				} else if (col+parity)%2 == 1 && col-1 >= 0 {
+					partner = pe.ID - 1
+				}
+			} else {
+				if (row+parity)%2 == 0 && row+1 < side {
+					partner = pe.ID + side
+				} else if (row+parity)%2 == 1 && row-1 >= 0 {
+					partner = pe.ID - side
+				}
+			}
+			if partner < 0 {
+				return nil
+			}
+			return map[int]Msg{partner: m.v}
+		}
+		if err := r.Run(1, step); err != nil {
+			return err
+		}
+		// Resolve: each PE that sent also received its partner's value.
+		resolve := func(pe *PE) map[int]Msg {
+			m := pe.Mem.(*mem)
+			row, col := pe.ID/side, pe.ID%side
+			for from, raw := range pe.Recv {
+				v := raw.(int)
+				if rowPhase {
+					fc := from % side
+					// Within a row: even rows ascend left→right, odd rows
+					// descend (snake order). This PE should end holding
+					// the larger value iff it is the right neighbour in an
+					// ascending row or the left neighbour in a descending
+					// one.
+					asc := row%2 == 0
+					holdLarger := (fc < col) == asc
+					if holdLarger {
+						if v > m.v {
+							m.v = v
+						}
+					} else {
+						if v < m.v {
+							m.v = v
+						}
+					}
+				} else {
+					fr := from / side
+					if fr < row { // partner above: keep the larger here
+						if v > m.v {
+							m.v = v
+						}
+					} else {
+						if v < m.v {
+							m.v = v
+						}
+					}
+				}
+			}
+			return nil
+		}
+		return r.Run(1, resolve)
+	}
+
+	phases := bits.Len(uint(side)) + 1
+	for p := 0; p < phases; p++ {
+		// Row phase: side rounds of odd-even transposition.
+		for round := 0; round < side; round++ {
+			if err := exchange(true, round%2); err != nil {
+				return nil, err
+			}
+		}
+		// Column phase.
+		for round := 0; round < side; round++ {
+			if err := exchange(false, round%2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Final row phase leaves the mesh in snake order.
+	for round := 0; round < side; round++ {
+		if err := exchange(true, round%2); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]int, side*side)
+	for i := range out {
+		out[i] = r.PEState(i).(*mem).v
+	}
+	return out, nil
+}
+
+// SnakeToLinear reads a row-major mesh state in snake order.
+func SnakeToLinear(side int, rowMajor []int) []int {
+	out := make([]int, 0, len(rowMajor))
+	for row := 0; row < side; row++ {
+		if row%2 == 0 {
+			for col := 0; col < side; col++ {
+				out = append(out, rowMajor[row*side+col])
+			}
+		} else {
+			for col := side - 1; col >= 0; col-- {
+				out = append(out, rowMajor[row*side+col])
+			}
+		}
+	}
+	return out
+}

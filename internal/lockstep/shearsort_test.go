@@ -1,0 +1,78 @@
+package lockstep
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestShearSortRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for _, side := range []int{2, 4, 8} {
+		for trial := 0; trial < 10; trial++ {
+			n := side * side
+			vals := make([]int, n)
+			for i := range vals {
+				vals[i] = r.Intn(1000)
+			}
+			got, err := ShearSort(side, append([]int{}, vals...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			snake := SnakeToLinear(side, got)
+			want := append([]int{}, vals...)
+			sort.Ints(want)
+			for i := range want {
+				if snake[i] != want[i] {
+					t.Fatalf("side=%d trial=%d: snake order %v, want %v (grid %v)",
+						side, trial, snake, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestShearSortRejectsBadInput(t *testing.T) {
+	if _, err := ShearSort(3, []int{1, 2}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// TestMesh2DLinkValidation: diagonal or long-distance sends are illegal.
+func TestMesh2DLinkValidation(t *testing.T) {
+	r := NewMesh2D(4, nil)
+	err := r.Run(1, func(pe *PE) map[int]Msg {
+		if pe.ID == 0 {
+			return map[int]Msg{5: "diagonal"} // (0,0) → (1,1)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("diagonal send accepted")
+	}
+	err = r.Run(1, func(pe *PE) map[int]Msg {
+		if pe.ID == 0 {
+			return map[int]Msg{4: "down"} // (0,0) → (1,0): legal
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("legal lattice send rejected: %v", err)
+	}
+}
+
+// TestShearSortAllEqual and duplicates.
+func TestShearSortDuplicates(t *testing.T) {
+	side := 4
+	vals := []int{3, 3, 3, 3, 1, 1, 1, 1, 2, 2, 2, 2, 0, 0, 0, 0}
+	got, err := ShearSort(side, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snake := SnakeToLinear(side, got)
+	for i := 1; i < len(snake); i++ {
+		if snake[i-1] > snake[i] {
+			t.Fatalf("not sorted: %v", snake)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dyncg/internal/hypercube"
+	"dyncg/internal/mesh"
+)
+
+// TestGroupMatchesBinarySearch: the grouping operation's predecessor
+// answers equal serial binary search on every query.
+func TestGroupMatchesBinarySearch(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		nd := 1 + r.Intn(30)
+		nq := 1 + r.Intn(30)
+		data := make([]int, nd)
+		for i := range data {
+			data[i] = r.Intn(50) * 2 // even keys
+		}
+		sort.Ints(data)
+		// Strictly increasing for a clean predecessor oracle.
+		for i := 1; i < len(data); i++ {
+			if data[i] <= data[i-1] {
+				data[i] = data[i-1] + 2
+			}
+		}
+		queries := make([]int, nq)
+		for i := range queries {
+			queries[i] = r.Intn(120) - 4 // mix of hits, misses, out-of-range
+		}
+		for _, topo := range []Topology{
+			mesh.MustNew(64, mesh.Proximity),
+			hypercube.MustNew(64),
+		} {
+			m := New(topo)
+			pred := Group(m, data, queries, func(a, b int) bool { return a < b })
+			for q, p := range pred {
+				want := sort.SearchInts(data, queries[q]+1) - 1
+				if p != want {
+					t.Fatalf("trial %d %s: query %d (=%d): pred %d, want %d (data %v)",
+						trial, topo.Name(), q, queries[q], p, want, data)
+				}
+			}
+			if m.Stats().Time() <= 0 {
+				t.Fatal("no cost charged")
+			}
+		}
+	}
+}
+
+func TestGroupTiesResolveToData(t *testing.T) {
+	m := New(hypercube.MustNew(16))
+	data := []int{10, 20, 30}
+	queries := []int{20, 9, 31}
+	pred := Group(m, data, queries, func(a, b int) bool { return a < b })
+	if pred[0] != 1 { // query 20 sees data 20
+		t.Fatalf("tie pred = %d, want 1", pred[0])
+	}
+	if pred[1] != -1 {
+		t.Fatalf("below-range pred = %d, want -1", pred[1])
+	}
+	if pred[2] != 2 {
+		t.Fatalf("above-range pred = %d, want 2", pred[2])
+	}
+}
+
+func TestGroupCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := New(hypercube.MustNew(4))
+	Group(m, []int{1, 2, 3}, []int{4, 5}, func(a, b int) bool { return a < b })
+}

@@ -1,0 +1,172 @@
+// Package machine is the SIMD machine simulator underlying every parallel
+// algorithm in this repository. It executes the paper's abstract data
+// movement operations (§2.6, Table 1) — semigroup, broadcast, parallel
+// prefix, merge, sort, grouping — over an abstract Topology (the mesh of
+// §2.2 or the hypercube of §2.3) while charging simulated parallel time.
+//
+// Cost model. The machines are lock-step SIMD: in one communication round
+// every PE exchanges with a partner at some link distance, and the round
+// costs the maximum distance over all active pairs (messages follow
+// disjoint dimension-ordered/axis-ordered paths for the structured
+// patterns used here, so distance, not congestion, is the bottleneck).
+// All primitives are built from two patterns:
+//
+//   - XOR rounds (partner i ⊕ 2^b): bitonic merge and sort;
+//   - shift rounds (partner i ± 2^b): prefix, broadcast, semigroup.
+//
+// Under the paper's proximity (Hilbert) or shuffled-row-major mesh
+// indexing a bit-b round costs Θ(2^{b/2}) hops, so a full bitonic sort
+// costs Θ(√n) — the mesh-optimal bound of Table 1 (standing in for
+// Thompson–Kung; see DESIGN.md). On the Gray-coded hypercube every round
+// costs O(1) hops (≤ 2), giving Θ(log n) merges/scans and Θ(log² n) sort.
+//
+// Local computation is charged per lock-step phase: each primitive phase
+// in which every PE performs Θ(1) work adds 1 to LocalSteps, mirroring
+// the paper's unit-cost local operations.
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology is the communication structure of a machine: the mesh
+// (internal/mesh) or hypercube (internal/hypercube).
+type Topology interface {
+	Size() int
+	Name() string
+	// Distance is the link distance between the PEs labelled i and j.
+	Distance(i, j int) int
+	// Diameter is the communication diameter.
+	Diameter() int
+}
+
+// Stats accumulates simulated parallel running time.
+type Stats struct {
+	CommSteps  int64 // Σ over rounds of the round's worst link distance
+	LocalSteps int64 // Σ over phases of unit local work
+	Rounds     int64 // number of communication rounds
+	Messages   int64 // total point-to-point messages sent
+}
+
+// Time returns the total simulated parallel time, the quantity the
+// paper's Θ-bounds describe.
+func (s Stats) Time() int64 { return s.CommSteps + s.LocalSteps }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("time=%d (comm=%d local=%d rounds=%d msgs=%d)",
+		s.Time(), s.CommSteps, s.LocalSteps, s.Rounds, s.Messages)
+}
+
+// M is a simulated SIMD machine: a topology plus cost accounting.
+type M struct {
+	topo Topology
+	n    int
+	st   Stats
+
+	xorCost   map[int]int // bit → worst partner distance for i ⊕ 2^b
+	shiftCost map[int]int // offset → worst partner distance for i → i+off
+}
+
+// New wraps a topology in a machine with fresh counters.
+func New(t Topology) *M {
+	return &M{topo: t, n: t.Size(),
+		xorCost: map[int]int{}, shiftCost: map[int]int{}}
+}
+
+// Size returns the number of PEs.
+func (m *M) Size() int { return m.n }
+
+// Topology returns the underlying topology.
+func (m *M) Topology() Topology { return m.topo }
+
+// Stats returns the accumulated counters.
+func (m *M) Stats() Stats { return m.st }
+
+// Reset clears the counters (the cost caches survive).
+func (m *M) Reset() { m.st = Stats{} }
+
+// xorRoundCost returns (and caches) the worst partner distance of a
+// bit-b XOR round.
+func (m *M) xorRoundCost(b int) int {
+	if c, ok := m.xorCost[b]; ok {
+		return c
+	}
+	off := 1 << b
+	max := 0
+	for i := 0; i < m.n; i++ {
+		j := i ^ off
+		if j < i || j >= m.n {
+			continue
+		}
+		if d := m.topo.Distance(i, j); d > max {
+			max = d
+		}
+	}
+	m.xorCost[b] = max
+	return max
+}
+
+// shiftRoundCost returns (and caches) the worst partner distance of a
+// round in which PE i sends to PE i+off.
+func (m *M) shiftRoundCost(off int) int {
+	if off < 0 {
+		off = -off
+	}
+	if c, ok := m.shiftCost[off]; ok {
+		return c
+	}
+	max := 0
+	for i := 0; i+off < m.n; i++ {
+		if d := m.topo.Distance(i, i+off); d > max {
+			max = d
+		}
+	}
+	m.shiftCost[off] = max
+	return max
+}
+
+// chargeXOR records one bit-b XOR round with the given message count.
+func (m *M) chargeXOR(b int, msgs int) {
+	m.st.Rounds++
+	m.st.CommSteps += int64(m.xorRoundCost(b))
+	m.st.LocalSteps++
+	m.st.Messages += int64(msgs)
+}
+
+// chargeShift records one ±off shift round.
+func (m *M) chargeShift(off, msgs int) {
+	m.st.Rounds++
+	m.st.CommSteps += int64(m.shiftRoundCost(off))
+	m.st.LocalSteps++
+	m.st.Messages += int64(msgs)
+}
+
+// ChargeLocal records phases of pure Θ(1)-per-PE local computation.
+func (m *M) ChargeLocal(phases int) { m.st.LocalSteps += int64(phases) }
+
+// ChargeRoute records a structured route in which item i moves to
+// dest[i] (dest must be injective on the valid entries; the patterns used
+// by the algorithms — order-preserving compaction and spreading — admit
+// congestion-free greedy routes whose time is the worst point-to-point
+// distance).
+func (m *M) ChargeRoute(src, dest []int) {
+	max, msgs := 0, 0
+	for k, i := range src {
+		j := dest[k]
+		if i == j {
+			continue
+		}
+		msgs++
+		if d := m.topo.Distance(i, j); d > max {
+			max = d
+		}
+	}
+	m.st.Rounds++
+	m.st.CommSteps += int64(max)
+	m.st.LocalSteps++
+	m.st.Messages += int64(msgs)
+}
+
+// Bits returns ⌈log₂ n⌉ for the machine size.
+func (m *M) Bits() int { return bits.Len(uint(m.n - 1)) }

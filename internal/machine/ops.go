@@ -1,0 +1,358 @@
+package machine
+
+// This file implements the fundamental data movement operations of §2.6
+// (Table 1) as generic primitives over register files. A register file is
+// a slice with one entry per PE; Reg.Ok distinguishes PEs that hold a data
+// item from empty PEs (the paper allows strings with fewer items than
+// PEs). Segments ("strings of processors", §2.2/§2.3) are described by a
+// boolean segment-start mask; all segmented operations run in every
+// string simultaneously, as the paper requires ("there are multiple
+// strings in which the operations are to be performed in parallel").
+
+// Reg is one PE's register: a value and a validity flag.
+type Reg[T any] struct {
+	V  T
+	Ok bool
+}
+
+// Some returns an occupied register.
+func Some[T any](v T) Reg[T] { return Reg[T]{V: v, Ok: true} }
+
+// None returns an empty register.
+func None[T any]() Reg[T] { return Reg[T]{} }
+
+// WholeMachine returns the segment mask describing a single string
+// spanning the entire machine.
+func WholeMachine(n int) []bool {
+	seg := make([]bool, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	return seg
+}
+
+// BlockSegments returns the mask of aligned segments of the given size.
+func BlockSegments(n, block int) []bool {
+	seg := make([]bool, n)
+	for i := 0; i < n; i += block {
+		seg[i] = true
+	}
+	return seg
+}
+
+// --- Parallel prefix (segmented scan) -------------------------------------
+
+// ScanDir selects the scan direction.
+type ScanDir int
+
+// Scan directions.
+const (
+	Forward  ScanDir = iota // prefixes p_i = x_1 ∗ … ∗ x_i  (§2.6)
+	Backward                // suffixes
+)
+
+// Scan performs a segmented inclusive scan with the associative operation
+// op, in Θ(√n) mesh / Θ(log n) hypercube time (Table 1: parallel prefix).
+// Empty registers act as identity elements. The result is written in
+// place; each PE ends with the combined value of all items from its
+// segment boundary through itself.
+func Scan[T any](m *M, regs []Reg[T], segStart []bool, dir ScanDir, op func(a, b T) T) {
+	n := len(regs)
+	fl := make([]bool, n)
+	if dir == Forward {
+		copy(fl, segStart)
+	} else {
+		for i := 0; i < n; i++ {
+			fl[i] = i+1 >= n || segStart[i+1]
+		}
+	}
+	// The scan needs offsets up to the longest segment only: segmented
+	// scans within blocks of size B cost Θ(√B) mesh / Θ(log B) hypercube,
+	// which is what keeps Theorem 3.2's level costs geometric.
+	maxSeg, run := 0, 0
+	for i := 0; i < n; i++ {
+		if segStart[i] {
+			run = 0
+		}
+		run++
+		if run > maxSeg {
+			maxSeg = run
+		}
+	}
+	next := make([]Reg[T], n)
+	nextFl := make([]bool, n)
+	for off := 1; off < maxSeg; off <<= 1 {
+		copy(next, regs)
+		copy(nextFl, fl)
+		msgs := 0
+		for i := 0; i < n; i++ {
+			var j int
+			if dir == Forward {
+				j = i - off
+			} else {
+				j = i + off
+			}
+			if j < 0 || j >= n || fl[i] {
+				continue
+			}
+			msgs++
+			next[i] = combine(regs[j], regs[i], dir, op)
+			nextFl[i] = fl[i] || fl[j]
+		}
+		regs2 := regs
+		copy(regs2, next)
+		copy(fl, nextFl)
+		m.chargeShift(off, msgs)
+	}
+}
+
+// combine merges a neighbour's partial result with the local one,
+// treating empty registers as identity.
+func combine[T any](neigh, local Reg[T], dir ScanDir, op func(a, b T) T) Reg[T] {
+	switch {
+	case !neigh.Ok:
+		return local
+	case !local.Ok:
+		return neigh
+	case dir == Forward:
+		return Some(op(neigh.V, local.V))
+	default:
+		return Some(op(local.V, neigh.V))
+	}
+}
+
+// --- Broadcast -------------------------------------------------------------
+
+// Spread gives every PE the value of the nearest occupied register within
+// its segment: marked items flood in both directions. With exactly one
+// marked item per string this is the broadcast operation of §2.6, costing
+// Θ(√n) mesh / Θ(log n) hypercube time.
+func Spread[T any](m *M, regs []Reg[T], segStart []bool) {
+	fwd := make([]Reg[T], len(regs))
+	copy(fwd, regs)
+	keep := func(a, b T) T { return a }
+	Scan(m, fwd, segStart, Forward, keep)
+	keepR := func(a, b T) T { return b }
+	Scan(m, regs, segStart, Backward, keepR)
+	// Prefer the forward (leftward) source where both exist; any PE left
+	// empty by both passes has no occupied register in its segment.
+	m.ChargeLocal(1)
+	for i := range regs {
+		if fwd[i].Ok {
+			regs[i] = fwd[i]
+		}
+	}
+}
+
+// Semigroup applies the associative operation to all items of each
+// segment and delivers the result to every PE of the segment (§2.6:
+// semigroup computation — min, max, sum, …).
+func Semigroup[T any](m *M, regs []Reg[T], segStart []bool, op func(a, b T) T) {
+	Scan(m, regs, segStart, Forward, op)
+	// Totals now sit at each segment's last occupied PE; flood them back.
+	n := len(regs)
+	m.ChargeLocal(1)
+	marked := make([]Reg[T], n)
+	for i := 0; i < n; i++ {
+		lastOfSeg := i+1 >= n || segStart[i+1]
+		if lastOfSeg {
+			marked[i] = regs[i]
+		}
+	}
+	keepR := func(a, b T) T { return b }
+	Scan(m, marked, segStart, Backward, keepR)
+	copy(regs, marked)
+}
+
+// --- Bitonic merge and sort ------------------------------------------------
+
+// compareExchange performs one lock-step compare-exchange round: every
+// PE pair (i, j = i ⊕ mask) orders its two items so the smaller lands on
+// the smaller index. Empty registers sort after occupied ones.
+func compareExchange[T any](m *M, regs []Reg[T], mask int, blockOf func(i int) int, less func(a, b T) bool) {
+	n := len(regs)
+	msgs := 0
+	for i := 0; i < n; i++ {
+		j := i ^ mask
+		if j <= i || j >= n || blockOf(i) != blockOf(j) {
+			continue
+		}
+		msgs += 2
+		if regLess(regs[j], regs[i], less) {
+			regs[i], regs[j] = regs[j], regs[i]
+		}
+	}
+	// Charge by the highest bit of the mask: the partner distance of a
+	// multi-bit mask is bounded by (and realised at) its top bit under
+	// both topologies' locality properties.
+	b := 0
+	for 1<<(b+1) <= mask {
+		b++
+	}
+	m.chargeXOR(b, msgs)
+}
+
+func regLess[T any](a, b Reg[T], less func(x, y T) bool) bool {
+	switch {
+	case a.Ok && !b.Ok:
+		return true
+	case !a.Ok:
+		return false
+	default:
+		return less(a.V, b.V)
+	}
+}
+
+// MergeBlocks merges, within every aligned block of the given size, the
+// two sorted halves of the block into one sorted block — the merge
+// operation of §2.6 (Θ(√n) mesh, Θ(log n) hypercube for full-machine
+// blocks). All blocks are processed in the same rounds.
+func MergeBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) {
+	if block < 2 {
+		return
+	}
+	blockOf := func(i int) int { return i / block }
+	// First stage: compare i with its mirror in the block (i ⊕ (block−1)),
+	// which turns ascending+ascending into two half-blocks each bitonic
+	// and correctly split; the remaining stages are half-cleaners.
+	compareExchange(m, regs, block-1, blockOf, less)
+	for mask := block / 4; mask >= 1; mask /= 2 {
+		compareExchange(m, regs, mask, blockOf, less)
+	}
+}
+
+// SortBlocks sorts every aligned block of the given size by bitonic
+// sort: Θ(√n) on the mesh (shuffled/proximity indexing) and Θ(log² n) on
+// the hypercube for full-machine blocks (Table 1: sort). Empty registers
+// gather at the tail of each block.
+func SortBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) {
+	for sub := 2; sub <= block; sub *= 2 {
+		MergeBlocks(m, regs, sub, less)
+	}
+}
+
+// Sort sorts the whole machine (one string).
+func Sort[T any](m *M, regs []Reg[T], less func(a, b T) bool) {
+	SortBlocks(m, regs, len(regs), less)
+}
+
+// --- Routing-based operations ----------------------------------------------
+
+// Compact moves the occupied registers of each segment to the front of
+// the segment, preserving order: a parallel-prefix rank computation plus
+// one structured route (the "pack into a string" step used throughout
+// §4–§5).
+func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
+	n := len(regs)
+	// Rank each occupied register within its segment (exclusive count).
+	counts := make([]Reg[int], n)
+	m.ChargeLocal(1)
+	for i := range regs {
+		c := 0
+		if regs[i].Ok {
+			c = 1
+		}
+		counts[i] = Some(c)
+	}
+	Scan(m, counts, segStart, Forward, func(a, b int) int { return a + b })
+	segBase := make([]Reg[int], n)
+	m.ChargeLocal(1)
+	for i := range segBase {
+		if segStart[i] {
+			segBase[i] = Some(i)
+		}
+	}
+	Scan(m, segBase, segStart, Forward, func(a, b int) int { return a })
+	var src, dst []int
+	out := make([]Reg[T], n)
+	for i := range regs {
+		if !regs[i].Ok {
+			continue
+		}
+		d := segBase[i].V + counts[i].V - 1
+		src = append(src, i)
+		dst = append(dst, d)
+		out[d] = regs[i]
+	}
+	m.ChargeRoute(src, dst)
+	copy(regs, out)
+}
+
+// Route moves item i to dest[i] (−1 to drop). dest must be injective.
+// It is charged as one structured route; callers only use monotone or
+// block-local patterns that admit congestion-free greedy routing.
+func Route[T any](m *M, regs []Reg[T], dest []int) {
+	n := len(regs)
+	out := make([]Reg[T], n)
+	var src, dst []int
+	for i := range regs {
+		if !regs[i].Ok || dest[i] < 0 {
+			continue
+		}
+		if out[dest[i]].Ok {
+			panic("machine: Route destination collision")
+		}
+		out[dest[i]] = regs[i]
+		src = append(src, i)
+		dst = append(dst, dest[i])
+	}
+	m.ChargeRoute(src, dst)
+	copy(regs, out)
+}
+
+// ShiftWithin returns what each PE receives when every PE sends its
+// register to PE i+delta, with transfers confined to aligned blocks of
+// the given size (one shift communication round).
+func ShiftWithin[T any](m *M, regs []Reg[T], block, delta int) []Reg[T] {
+	n := len(regs)
+	out := make([]Reg[T], n)
+	msgs := 0
+	for i := range regs {
+		j := i - delta // the PE whose value lands here
+		if j < 0 || j >= n || j/block != i/block || !regs[j].Ok {
+			continue
+		}
+		out[i] = regs[j]
+		msgs++
+	}
+	m.chargeShift(delta, msgs)
+	return out
+}
+
+// Count returns, to the caller (not the PEs), the number of occupied
+// registers; it is free of simulated cost and used by test/driver code.
+func Count[T any](regs []Reg[T]) int {
+	c := 0
+	for _, r := range regs {
+		if r.Ok {
+			c++
+		}
+	}
+	return c
+}
+
+// Gather returns the occupied register values in index order — a
+// zero-cost observation for drivers and tests, not a machine operation.
+func Gather[T any](regs []Reg[T]) []T {
+	var out []T
+	for _, r := range regs {
+		if r.Ok {
+			out = append(out, r.V)
+		}
+	}
+	return out
+}
+
+// Scatter places vals one per PE from PE 0 upward — the paper's input
+// convention ("no processor contains more than one of the functions",
+// §2.4). Zero simulated cost: it is the initial data layout.
+func Scatter[T any](n int, vals []T) []Reg[T] {
+	if len(vals) > n {
+		panic("machine: more values than PEs")
+	}
+	regs := make([]Reg[T], n)
+	for i, v := range vals {
+		regs[i] = Some(v)
+	}
+	return regs
+}

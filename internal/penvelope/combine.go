@@ -1,0 +1,117 @@
+package penvelope
+
+import (
+	"fmt"
+
+	"dyncg/internal/machine"
+	"dyncg/internal/pieces"
+)
+
+// Combine2 applies Lemma 3.1's machine algorithm once to two piecewise
+// functions f and g with an arbitrary Θ(1)-per-window combiner — the
+// paper's remark that the construction works for "any of a variety of
+// operations" on a pair of functions. It is the workhorse of §4: the
+// algorithms of Theorems 4.5–4.7 build difference functions and 0/1
+// indicator functions (A₀, B₀, W_i, …) exactly this way.
+//
+// window receives the pieces of f and of g clipped to an elementary
+// window (either may be empty) and returns the combined pieces on that
+// window. Cost: Θ(√N) mesh / Θ(log N) hypercube (one Lemma 3.1 pass).
+func Combine2(m *machine.M, f, g pieces.Piecewise, window func(fw, gw pieces.Piecewise) pieces.Piecewise) (pieces.Piecewise, error) {
+	N := m.Size()
+	if len(f) > N/2 || len(g) > N/2 {
+		return nil, fmt.Errorf("penvelope: Combine2 inputs (%d, %d pieces) exceed machine halves (%d PEs)",
+			len(f), len(g), N)
+	}
+	regs := make([]machine.Reg[envReg], N)
+	for j, p := range f {
+		regs[j] = machine.Some(envReg{p: p})
+	}
+	for j, p := range g {
+		regs[N/2+j] = machine.Some(envReg{p: p})
+	}
+	if err := mergeLevel(m, regs, N, window); err != nil {
+		return nil, err
+	}
+	out := pieces.Piecewise{}
+	for _, r := range regs {
+		if r.Ok {
+			out = append(out, r.V.p)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("penvelope: Combine2 produced invalid pieces: %w", err)
+	}
+	return out, nil
+}
+
+// MergeMinMax is Combine2 specialised to the pointwise min/max of two
+// piecewise functions (Lemma 3.1 proper).
+func MergeMinMax(m *machine.M, f, g pieces.Piecewise, kind pieces.Kind) (pieces.Piecewise, error) {
+	return Combine2(m, f, g, func(fw, gw pieces.Piecewise) pieces.Piecewise {
+		return pieces.Merge(fw, gw, kind)
+	})
+}
+
+// MapPieces applies a Θ(1) local transformation to every piece of f
+// (each piece may expand into a bounded number of subpieces), then packs
+// and recombines adjacent equal runs — one parallel prefix, a constant
+// number of routes, and a compaction. Used for per-piece threshold
+// indicators such as W_i(t) = [D_i(t) ≤ X_i] in Theorem 4.6.
+func MapPieces(m *machine.M, f pieces.Piecewise, fn func(pieces.Piece) []pieces.Piece) (pieces.Piecewise, error) {
+	N := m.Size()
+	if len(f) > N {
+		return nil, fmt.Errorf("penvelope: MapPieces input (%d pieces) exceeds machine (%d PEs)", len(f), N)
+	}
+	emitted := make([][]pieces.Piece, N)
+	m.ChargeLocal(1)
+	total := 0
+	for i, p := range f {
+		emitted[i] = fn(p)
+		total += len(emitted[i])
+	}
+	if total > N {
+		return nil, fmt.Errorf("penvelope: MapPieces expansion (%d pieces) exceeds machine (%d PEs)", total, N)
+	}
+	counts := make([]machine.Reg[int], N)
+	m.ChargeLocal(1)
+	for i := range counts {
+		counts[i] = machine.Some(len(emitted[i]))
+	}
+	machine.Scan(m, counts, machine.WholeMachine(N), machine.Forward,
+		func(a, b int) int { return a + b })
+	regs := make([]machine.Reg[envReg], N)
+	maxEmit := 0
+	for i := range emitted {
+		if len(emitted[i]) > maxEmit {
+			maxEmit = len(emitted[i])
+		}
+		base := counts[i].V - len(emitted[i])
+		for j, p := range emitted[i] {
+			regs[base+j] = machine.Some(envReg{p: p})
+		}
+	}
+	for j := 0; j < maxEmit; j++ {
+		var src, dst []int
+		for i := range emitted {
+			if j < len(emitted[i]) {
+				src = append(src, i)
+				dst = append(dst, counts[i].V-len(emitted[i])+j)
+			}
+		}
+		m.ChargeRoute(src, dst)
+	}
+	if err := combineRuns(m, regs, N); err != nil {
+		return nil, err
+	}
+	out := pieces.Piecewise{}
+	for _, r := range regs {
+		if r.Ok {
+			out = append(out, r.V.p)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("penvelope: MapPieces produced invalid pieces: %w", err)
+	}
+	return out, nil
+}

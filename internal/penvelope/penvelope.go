@@ -1,0 +1,317 @@
+// Package penvelope implements the paper's parallel construction of the
+// minimum (and maximum) function — the central tool of §3:
+//
+//   - Lemma 3.1: merging the pieces of two piecewise functions stored in
+//     disjoint strings into the pieces of their pointwise min, using one
+//     merge, parallel prefixes, Θ(1) local root-finding per PE, and a
+//     compaction — Θ(√m) on the mesh, Θ(log m) on the hypercube;
+//
+//   - Theorem 3.2: the recursive halving that builds
+//     h(t) = min{f₀(t), …, f_{n−1}(t)} on a machine of λ_M(n,s) (mesh) or
+//     λ_H(n,s) (hypercube) PEs in Θ(λ^{1/2}(n,s)) resp. Θ(log² n) time,
+//     leaving the pieces ordered one per PE;
+//
+//   - Theorem 3.4: the same construction for partial functions with
+//     bounded jump discontinuities and transitions (Figure 5), used by
+//     the convex-hull-membership algorithm of §4.2.
+//
+// The recursion is realised bottom-up: level ℓ works on aligned blocks of
+// 2^ℓ PEs, every block holding the envelope of its functions as a sorted,
+// front-packed run of pieces; merging two sibling blocks is Lemma 3.1
+// executed simultaneously in every block pair.
+package penvelope
+
+import (
+	"fmt"
+	"math"
+
+	"dyncg/internal/curve"
+	"dyncg/internal/dsseq"
+	"dyncg/internal/machine"
+	"dyncg/internal/pieces"
+)
+
+// envReg is one PE's register during envelope construction: a piece plus
+// the half ("string") it belonged to at the current merge level — the
+// paper's f/g tag from Step 1 of Lemma 3.1.
+type envReg struct {
+	p    pieces.Piece
+	side uint8
+}
+
+// lastSeen carries, through a parallel prefix, the most recent piece of
+// each side — the other-piece field of Lemma 3.1 Step 3.
+type lastSeen struct {
+	f, g     pieces.Piece
+	fOk, gOk bool
+}
+
+func mergeSeen(a, b lastSeen) lastSeen {
+	out := b
+	if !out.fOk {
+		out.f, out.fOk = a.f, a.fOk
+	}
+	if !out.gOk {
+		out.g, out.gOk = a.g, a.gOk
+	}
+	return out
+}
+
+// Envelope builds the min/max function of fs on machine m. Each input
+// must have Θ(1) pieces (a single total curve, or the ≤ k+1 domain pieces
+// of a partial function per Theorem 3.4); inputs are laid out one
+// function per machine stride, the paper's input convention (§2.4). The
+// result is returned as an ordered Piecewise (pieces end up ordered, one
+// per PE, exactly as Theorem 3.2 promises) and the machine's counters
+// hold the simulated parallel time.
+func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Piecewise, error) {
+	n := len(fs)
+	N := m.Size()
+	if n == 0 {
+		return nil, nil
+	}
+	maxInit := 1
+	for _, f := range fs {
+		if len(f) > maxInit {
+			maxInit = len(f)
+		}
+	}
+	// Spread the functions across the whole machine. The paper stores
+	// Θ(1) pieces per PE; this implementation keeps exactly one piece per
+	// PE and compensates with a constant-factor PE overallocation (see
+	// MeshPEs/CubePEs and DESIGN.md): with N ≥ 4·λ(n,s) every block's
+	// piece population, even before Step 6's compaction, fits one-per-PE.
+	n2 := dsseq.NextPow2(n)
+	stride := N / n2
+	if stride < dsseq.NextPow2(maxInit) {
+		return nil, fmt.Errorf("penvelope: %d functions with ≤%d pieces need ≥%d PEs, machine has %d",
+			n, maxInit, n2*dsseq.NextPow2(maxInit), N)
+	}
+	// Spread the inputs: function i's pieces at PEs i·stride, i·stride+1, …
+	// (Step 1 of Theorem 3.2: split the descriptions evenly).
+	regs := make([]machine.Reg[envReg], N)
+	for i, f := range fs {
+		for j, p := range f {
+			regs[i*stride+j] = machine.Some(envReg{p: p})
+		}
+	}
+	// Bottom-up recursive halving (Step 2–3 of Theorem 3.2).
+	window := func(fw, gw pieces.Piecewise) pieces.Piecewise {
+		return pieces.Merge(fw, gw, kind)
+	}
+	for block := stride * 2; block <= N; block *= 2 {
+		if err := mergeLevel(m, regs, block, window); err != nil {
+			return nil, err
+		}
+	}
+	out := pieces.Piecewise{}
+	for _, r := range regs {
+		if r.Ok {
+			out = append(out, r.V.p)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("penvelope: invalid result: %w", err)
+	}
+	return out, nil
+}
+
+// mergeLevel performs Lemma 3.1 simultaneously in every aligned block of
+// the given size: each block's two halves hold sorted, front-packed piece
+// runs of h₁ and h₂; afterwards the block holds the sorted, front-packed
+// pieces of window(h₁, h₂) — the pointwise min for envelope construction,
+// or any other Θ(1)-per-window combination (the generalisation the paper
+// notes after Lemma 3.1: "the algorithm ... can also be used to construct
+// ... any of a variety of operations (e.g., max, sum, product)").
+func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func(fw, gw pieces.Piecewise) pieces.Piecewise) error {
+	N := len(regs)
+	half := block / 2
+	// Step 1: tag sides.
+	m.ChargeLocal(1)
+	for i := range regs {
+		if regs[i].Ok {
+			r := regs[i].V
+			r.side = uint8((i / half) % 2)
+			regs[i] = machine.Some(r)
+		}
+	}
+	// Step 2: merge the two runs by interval left endpoint. Ties broken
+	// by side then ID for determinism (the paper breaks ties in favour of
+	// Right records; any fixed rule works here because empty windows are
+	// skipped).
+	machine.MergeBlocks(m, regs, block, func(a, b envReg) bool {
+		if a.p.Lo != b.p.Lo {
+			return a.p.Lo < b.p.Lo
+		}
+		if a.side != b.side {
+			return a.side < b.side
+		}
+		return a.p.ID < b.p.ID
+	})
+	// Step 3: parallel prefix gives every PE the latest piece of each
+	// side starting at or before its own (the other-piece field).
+	seg := machine.BlockSegments(N, block)
+	seen := make([]machine.Reg[lastSeen], N)
+	m.ChargeLocal(1)
+	for i := range regs {
+		if !regs[i].Ok {
+			continue
+		}
+		r := regs[i].V
+		ls := lastSeen{}
+		if r.side == 0 {
+			ls.f, ls.fOk = r.p, true
+		} else {
+			ls.g, ls.gOk = r.p, true
+		}
+		seen[i] = machine.Some(ls)
+	}
+	machine.Scan(m, seen, seg, machine.Forward, mergeSeen)
+	// Each PE also needs the start of the next piece to bound its window.
+	next := machine.ShiftWithin(m, regs, block, -1)
+	// Step 4–5: Θ(1) local work per PE — build the envelope restricted to
+	// the window [myLo, nextLo) from the two active pieces, via the same
+	// bounded computation a single PE performs in Lemma 3.1 (root
+	// isolation on one pair of bounded-degree curves plus sample
+	// comparisons on ≤ s+1 subintervals).
+	m.ChargeLocal(1)
+	emitted := make([][]pieces.Piece, N)
+	maxEmit := 0
+	for i := range regs {
+		if !regs[i].Ok || !seen[i].Ok {
+			continue
+		}
+		w0 := regs[i].V.p.Lo
+		w1 := math.Inf(1)
+		if next[i].Ok {
+			w1 = next[i].V.p.Lo
+		}
+		if !(w0 < w1) {
+			continue // empty window (tied left endpoints)
+		}
+		ls := seen[i].V
+		var fw, gw pieces.Piecewise
+		if ls.fOk {
+			fw = clip(ls.f, w0, w1)
+		}
+		if ls.gOk {
+			gw = clip(ls.g, w0, w1)
+		}
+		emitted[i] = window(fw, gw)
+		if len(emitted[i]) > maxEmit {
+			maxEmit = len(emitted[i])
+		}
+	}
+	// Pack the emitted subpieces: rank by parallel prefix, then maxEmit
+	// structured routes (each PE holds Θ(1) subpieces).
+	counts := make([]machine.Reg[int], N)
+	m.ChargeLocal(1)
+	for i := range counts {
+		counts[i] = machine.Some(len(emitted[i]))
+	}
+	machine.Scan(m, counts, seg, machine.Forward, func(a, b int) int { return a + b })
+	out := make([]machine.Reg[envReg], N)
+	for i := range regs {
+		if len(emitted[i]) == 0 {
+			continue
+		}
+		base := (i/block)*block + counts[i].V - len(emitted[i])
+		for j, p := range emitted[i] {
+			if base+j >= (i/block+1)*block {
+				return fmt.Errorf("penvelope: block capacity exceeded at level %d (λ under-allocation)", block)
+			}
+			out[base+j] = machine.Some(envReg{p: p})
+		}
+	}
+	for j := 0; j < maxEmit; j++ {
+		// Each of the ≤ maxEmit rounds is one structured route.
+		src := make([]int, 0, N)
+		dst := make([]int, 0, N)
+		for i := range regs {
+			if j < len(emitted[i]) {
+				src = append(src, i)
+				dst = append(dst, (i/block)*block+counts[i].V-len(emitted[i])+j)
+			}
+		}
+		m.ChargeRoute(src, dst)
+	}
+	copy(regs, out)
+	// Step 6: combine adjacent subpieces with the same generating
+	// function (runs), using a prefix within runs.
+	return combineRuns(m, regs, block)
+}
+
+// combineRuns merges maximal runs of adjacent pieces with equal ID whose
+// intervals abut, the parallel form of Piecewise.Compact.
+func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
+	N := len(regs)
+	prev := machine.ShiftWithin(m, regs, block, +1) // prev[i] = regs[i-1]
+	runStart := make([]bool, N)
+	m.ChargeLocal(1)
+	for i := range regs {
+		if !regs[i].Ok {
+			runStart[i] = i%block == 0
+			continue
+		}
+		if !prev[i].Ok {
+			runStart[i] = true
+			continue
+		}
+		a, b := prev[i].V.p, regs[i].V.p
+		runStart[i] = !(a.ID == b.ID && a.Hi == b.Lo)
+	}
+	// Bring each run's final Hi to its head.
+	his := make([]machine.Reg[float64], N)
+	for i := range regs {
+		if regs[i].Ok {
+			his[i] = machine.Some(regs[i].V.p.Hi)
+		}
+	}
+	machine.Scan(m, his, runStart, machine.Backward, func(a, b float64) float64 { return b })
+	m.ChargeLocal(1)
+	for i := range regs {
+		if !regs[i].Ok {
+			continue
+		}
+		if runStart[i] {
+			r := regs[i].V
+			r.p.Hi = his[i].V
+			regs[i] = machine.Some(r)
+		} else {
+			regs[i] = machine.None[envReg]()
+		}
+	}
+	machine.Compact(m, regs, machine.BlockSegments(N, block))
+	return nil
+}
+
+// clip restricts a piece to the window [w0, w1), returning at most one
+// piece.
+func clip(p pieces.Piece, w0, w1 float64) pieces.Piecewise {
+	lo := math.Max(p.Lo, w0)
+	hi := math.Min(p.Hi, w1)
+	if !(lo < hi) {
+		return nil
+	}
+	return pieces.Piecewise{{F: p.F, ID: p.ID, Lo: lo, Hi: hi}}
+}
+
+// MeshPEs returns the mesh size (a power of four) this implementation
+// uses for an envelope of n functions with at most s pairwise
+// intersections: Θ(λ_M(n, s)) PEs, the Theorem 3.2 allocation up to the
+// constant factor documented in DESIGN.md (one piece per PE instead of
+// Θ(1) pieces per PE).
+func MeshPEs(n, s int) int { return dsseq.NextPow4(4 * dsseq.LambdaBound(n, s)) }
+
+// CubePEs is MeshPEs for the hypercube: Θ(λ_H(n, s)) PEs, a power of two.
+func CubePEs(n, s int) int { return dsseq.NextPow2(4 * dsseq.LambdaBound(n, s)) }
+
+// EnvelopeOfCurves runs Envelope over total curves, tagging curve i with
+// ID i — the direct parallel construction of Equation (1).
+func EnvelopeOfCurves(m *machine.M, cs []curve.Curve, kind pieces.Kind) (pieces.Piecewise, error) {
+	fs := make([]pieces.Piecewise, len(cs))
+	for i, c := range cs {
+		fs[i] = pieces.Total(c, i)
+	}
+	return Envelope(m, fs, kind)
+}

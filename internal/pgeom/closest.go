@@ -1,0 +1,144 @@
+package pgeom
+
+import (
+	"dyncg/internal/geom"
+	"dyncg/internal/machine"
+	"dyncg/internal/ratfun"
+)
+
+// pairCand is a candidate closest pair held in a PE register.
+type pairCand[T ratfun.Real[T]] struct {
+	a, b int
+	d    T
+}
+
+// ClosestPair finds a closest pair of pts on the machine by sort-bounded
+// divide and conquer — the static algorithm behind Proposition 5.3
+// (standing in for [Miller and Stout 1989a] / [Sanz and Cypher 1987], see
+// DESIGN.md). It is generic over the ordered field: at F64 it solves the
+// static problem, at RatFun the steady-state problem, per Lemma 5.1.
+//
+// Structure: one global sort by x assigns x-partitioned aligned blocks;
+// bottom-up, a second register file is kept y-sorted per block with one
+// bitonic merge per level (the classic D&C invariant), the strip around
+// each block's x-split is compacted, and each strip point is compared
+// with its ≤ 7 successors using constant shift rounds. By induction every
+// block ends each level knowing its exact closest pair, so the strip
+// argument applies. Total cost Θ(sort): Θ(√n) mesh, Θ(log² n) hypercube.
+func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int, d2 T) {
+	if len(pts) < 2 {
+		panic("pgeom: ClosestPair needs at least two points")
+	}
+	n := m.Size()
+	lessX := func(x, y geom.Point[T]) bool {
+		if c := x.X.Cmp(y.X); c != 0 {
+			return c < 0
+		}
+		if c := x.Y.Cmp(y.Y); c != 0 {
+			return c < 0
+		}
+		return x.ID < y.ID
+	}
+	lessY := func(x, y geom.Point[T]) bool {
+		if c := x.Y.Cmp(y.Y); c != 0 {
+			return c < 0
+		}
+		if c := x.X.Cmp(y.X); c != 0 {
+			return c < 0
+		}
+		return x.ID < y.ID
+	}
+	// Points with IDs = indices into pts.
+	tagged := make([]geom.Point[T], len(pts))
+	for i, p := range pts {
+		p.ID = i
+		tagged[i] = p
+	}
+	byX := machine.Scatter(n, tagged)
+	machine.Sort(m, byX, lessX)
+	byY := make([]machine.Reg[geom.Point[T]], n)
+	copy(byY, byX) // blocks of size 1 are trivially y-sorted
+	best := make([]machine.Reg[pairCand[T]], n)
+
+	minPair := func(x, y pairCand[T]) pairCand[T] {
+		if x.d.Cmp(y.d) <= 0 {
+			return x
+		}
+		return y
+	}
+
+	for block := 2; block <= n; block *= 2 {
+		seg := machine.BlockSegments(n, block)
+		half := machine.BlockSegments(n, block/2)
+
+		// Maintain the y-sorted invariant.
+		machine.MergeBlocks(m, byY, block, lessY)
+
+		// Split abscissa: max X over each left half-block, spread right.
+		xs := make([]machine.Reg[T], n)
+		m.ChargeLocal(1)
+		for i := range byX {
+			if byX[i].Ok {
+				xs[i] = machine.Some(byX[i].V.X)
+			}
+		}
+		machine.Semigroup(m, xs, half, func(p, q T) T {
+			if p.Cmp(q) >= 0 {
+				return p
+			}
+			return q
+		})
+		split := make([]machine.Reg[T], n)
+		m.ChargeLocal(1)
+		for i := range split {
+			if xs[i].Ok && (i/(block/2))%2 == 0 {
+				split[i] = machine.Some(xs[i].V)
+			}
+		}
+		machine.Spread(m, split, seg)
+
+		// Block δ so far (exact within each half, by induction).
+		delta := make([]machine.Reg[pairCand[T]], n)
+		copy(delta, best)
+		machine.Semigroup(m, delta, seg, minPair)
+
+		// Strip membership and compaction.
+		strip := make([]machine.Reg[geom.Point[T]], n)
+		m.ChargeLocal(1)
+		for i := range byY {
+			if !byY[i].Ok || !split[i].Ok {
+				continue
+			}
+			p := byY[i].V
+			dx := p.X.Sub(split[i].V)
+			if !delta[i].Ok || dx.Mul(dx).Cmp(delta[i].V.d) < 0 {
+				strip[i] = machine.Some(p)
+			}
+		}
+		machine.Compact(m, strip, seg)
+
+		// Compare each strip point with its ≤ 7 successors.
+		cur := strip
+		for k := 0; k < 7; k++ {
+			cur = machine.ShiftWithin(m, cur, block, -1)
+			m.ChargeLocal(1)
+			for i := range strip {
+				if !strip[i].Ok || !cur[i].Ok {
+					continue
+				}
+				d := geom.DistSq(strip[i].V, cur[i].V)
+				cand := pairCand[T]{a: strip[i].V.ID, b: cur[i].V.ID, d: d}
+				if !best[i].Ok || d.Cmp(best[i].V.d) < 0 {
+					best[i] = machine.Some(cand)
+				}
+			}
+		}
+	}
+	machine.Semigroup(m, best, machine.WholeMachine(n), minPair)
+	for i := range best {
+		if best[i].Ok {
+			return best[i].V.a, best[i].V.b, best[i].V.d
+		}
+	}
+	panic("pgeom: ClosestPair found no candidate")
+}

@@ -1,0 +1,31 @@
+package pgeom
+
+import (
+	"math"
+	"testing"
+
+	"dyncg/internal/geom"
+	"dyncg/internal/ratfun"
+)
+
+// TestHullStaticCircle: every point on a circle is extreme — the classic
+// all-extreme stress case (motion.OnCircle); the dual-envelope hull must
+// recover all n vertices despite the mirror-symmetric x-coordinates.
+func TestHullStaticCircle(t *testing.T) {
+	for _, n := range []int{128, 512, 1024} {
+		pts := make([]geom.Point[ratfun.F64], n)
+		for i := range pts {
+			th := 2 * math.Pi * float64(i) / float64(n)
+			pts[i] = geom.Point[ratfun.F64]{X: ratfun.F64(math.Cos(th)), Y: ratfun.F64(math.Sin(th)), ID: i}
+		}
+		m := cubeFor(2 * n)
+		got, err := HullStatic(m, pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		exact := geom.Hull(pts)
+		if len(got) != len(exact) {
+			t.Fatalf("n=%d: hull %d vertices, want %d", n, len(got), len(exact))
+		}
+	}
+}

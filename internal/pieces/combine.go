@@ -1,0 +1,77 @@
+package pieces
+
+import (
+	"math"
+	"sort"
+)
+
+// CombineWindows is the serial counterpart of the machine algorithm's
+// generalised Lemma 3.1 pass (penvelope.Combine2): it slices the time
+// axis into the elementary windows delimited by the left endpoints of
+// the pieces of f and g, hands the window combiner the (≤ 1 per side)
+// active pieces clipped to each window, and concatenates the results
+// with adjacent same-function runs compacted.
+//
+// It exists as the Θ(m)-work serial baseline and as the reference
+// implementation the parallel version is property-tested against.
+func CombineWindows(f, g Piecewise, window func(fw, gw Piecewise) Piecewise) Piecewise {
+	type tagged struct {
+		p    Piece
+		side int
+	}
+	all := make([]tagged, 0, len(f)+len(g))
+	for _, p := range f {
+		all = append(all, tagged{p: p, side: 0})
+	}
+	for _, p := range g {
+		all = append(all, tagged{p: p, side: 1})
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p.Lo != all[j].p.Lo {
+			return all[i].p.Lo < all[j].p.Lo
+		}
+		if all[i].side != all[j].side {
+			return all[i].side < all[j].side
+		}
+		return all[i].p.ID < all[j].p.ID
+	})
+	var out Piecewise
+	var lastF, lastG *Piece
+	for i := range all {
+		if all[i].side == 0 {
+			lastF = &all[i].p
+		} else {
+			lastG = &all[i].p
+		}
+		w0 := all[i].p.Lo
+		w1 := math.Inf(1)
+		if i+1 < len(all) {
+			w1 = all[i+1].p.Lo
+		}
+		if !(w0 < w1) {
+			continue
+		}
+		var fw, gw Piecewise
+		if lastF != nil {
+			fw = clipPiece(*lastF, w0, w1)
+		}
+		if lastG != nil {
+			gw = clipPiece(*lastG, w0, w1)
+		}
+		out = append(out, window(fw, gw)...)
+	}
+	return out.Compact()
+}
+
+// clipPiece restricts a piece to [w0, w1), returning at most one piece.
+func clipPiece(p Piece, w0, w1 float64) Piecewise {
+	lo := math.Max(p.Lo, w0)
+	hi := math.Min(p.Hi, w1)
+	if !(lo < hi) {
+		return nil
+	}
+	return Piecewise{{F: p.F, ID: p.ID, Lo: lo, Hi: hi}}
+}

@@ -1,0 +1,266 @@
+package pieces
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyncg/internal/curve"
+	"dyncg/internal/poly"
+)
+
+func pc(coefs ...float64) curve.Curve { return curve.NewPoly(poly.New(coefs...)) }
+
+// TestFigure4Example reproduces Figure 4 of the paper: three curves whose
+// minimum has pieces (g, [0,a]), (h, [a,b]), (f, [b,∞)).
+func TestFigure4Example(t *testing.T) {
+	// f decreasing, g increasing, h in between: choose
+	// g(t) = t, h(t) = 2, f(t) = 6 − t/2.
+	// min is g on [0,2], h on [2,8], f on [8,∞).
+	g := pc(0, 1)
+	h := pc(2)
+	f := pc(6, -0.5)
+	env := EnvelopeOfCurves([]curve.Curve{f, g, h}, Min)
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int{1, 2, 0}
+	ids := env.IDs()
+	if len(ids) != 3 || ids[0] != wantIDs[0] || ids[1] != wantIDs[1] || ids[2] != wantIDs[2] {
+		t.Fatalf("piece IDs = %v, want %v (env=%v)", ids, wantIDs, env)
+	}
+	if math.Abs(env[0].Hi-2) > 1e-9 || math.Abs(env[1].Hi-8) > 1e-9 {
+		t.Fatalf("breakpoints = %v, %v; want 2, 8", env[0].Hi, env[1].Hi)
+	}
+	if !math.IsInf(env[2].Hi, 1) {
+		t.Fatal("last piece must extend to ∞")
+	}
+}
+
+func TestMergeWithGaps(t *testing.T) {
+	// f defined on [0,1] and [3,4]; g defined on [0.5, 3.5].
+	f := OnIntervals(pc(1), 0, [][2]float64{{0, 1}, {3, 4}})
+	g := OnIntervals(pc(2), 1, [][2]float64{{0.5, 3.5}})
+	m := Merge(f, g, Min)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// min: f (=1) on [0,1], g (=2) on [1,3], f on [3,4], undefined after 4.
+	if v, ok := m.Eval(0.25); !ok || v != 1 {
+		t.Errorf("at 0.25: %v %v", v, ok)
+	}
+	if v, ok := m.Eval(2); !ok || v != 2 {
+		t.Errorf("at 2: %v %v", v, ok)
+	}
+	if v, ok := m.Eval(3.7); !ok || v != 1 {
+		t.Errorf("at 3.7: %v %v", v, ok)
+	}
+	if m.Defined(5) {
+		t.Error("should be undefined at 5")
+	}
+	gaps := m.Gaps()
+	if len(gaps) != 1 || gaps[0][0] != 4 {
+		t.Errorf("gaps = %v", gaps)
+	}
+}
+
+func TestCompactMergesAdjacentSameFunction(t *testing.T) {
+	c := pc(1, 1)
+	pw := Piecewise{
+		{F: c, ID: 3, Lo: 0, Hi: 2},
+		{F: c, ID: 3, Lo: 2, Hi: 5},
+		{F: c, ID: 3, Lo: 6, Hi: 7}, // gap: not merged
+	}
+	got := pw.Compact()
+	if len(got) != 2 || got[0].Hi != 5 || got[1].Lo != 6 {
+		t.Fatalf("Compact = %v", got)
+	}
+}
+
+func TestEnvelopeMax(t *testing.T) {
+	f := pc(0, 1)  // t
+	g := pc(4, -1) // 4−t
+	env := EnvelopeOfCurves([]curve.Curve{f, g}, Max)
+	// max: g on [0,2], f on [2,∞)
+	if len(env) != 2 || env[0].ID != 1 || env[1].ID != 0 {
+		t.Fatalf("max envelope = %v", env)
+	}
+	if math.Abs(env[0].Hi-2) > 1e-9 {
+		t.Fatalf("crossover = %v, want 2", env[0].Hi)
+	}
+}
+
+func TestIdenticalCurvesTieBreak(t *testing.T) {
+	a := pc(1, 2)
+	b := pc(1, 2)
+	env := EnvelopeOfCurves([]curve.Curve{b, a}, Min)
+	if len(env) != 1 || env[0].ID != 0 {
+		t.Fatalf("tie-break envelope = %v", env)
+	}
+}
+
+func TestLambdaN1Bound(t *testing.T) {
+	// Lines (s=1): the envelope of n lines has at most λ(n,1) = n pieces
+	// (Theorem 2.3). Exercise with random lines.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(30)
+		cs := make([]curve.Curve, n)
+		for i := range cs {
+			cs[i] = pc(r.NormFloat64()*5, r.NormFloat64()*5)
+		}
+		env := EnvelopeOfCurves(cs, Min)
+		if err := env.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(env) > n {
+			t.Fatalf("trial %d: %d lines produced %d pieces > λ(n,1)=n",
+				trial, n, len(env))
+		}
+	}
+}
+
+func TestLambdaN2Bound(t *testing.T) {
+	// Parabolas (s=2): at most λ(n,2) = 2n−1 pieces (Theorem 2.3).
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(20)
+		cs := make([]curve.Curve, n)
+		for i := range cs {
+			cs[i] = pc(r.NormFloat64()*4, r.NormFloat64()*4, 0.5+r.Float64()*2)
+		}
+		env := EnvelopeOfCurves(cs, Min)
+		if len(env) > 2*n-1 {
+			t.Fatalf("trial %d: %d parabolas produced %d pieces > 2n−1",
+				trial, n, len(env))
+		}
+	}
+}
+
+// Property: the envelope equals the brute-force pointwise minimum on a
+// dense time grid, and its pieces tile [0, ∞) for total inputs.
+func TestEnvelopeCorrectnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(12)
+		deg := 1 + r.Intn(3)
+		cs := make([]curve.Curve, n)
+		ps := make([]poly.Poly, n)
+		for i := range cs {
+			c := make([]float64, deg+1)
+			for j := range c {
+				c[j] = r.NormFloat64() * 3
+			}
+			ps[i] = poly.New(c...)
+			cs[i] = curve.NewPoly(ps[i])
+		}
+		env := EnvelopeOfCurves(cs, Min)
+		if err := env.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(env) == 0 || env[0].Lo != 0 || !math.IsInf(env[len(env)-1].Hi, 1) {
+			t.Fatalf("trial %d: envelope does not cover [0,∞): %v", trial, env)
+		}
+		for s := 0; s < 60; s++ {
+			tm := float64(s) * 0.21
+			want := math.Inf(1)
+			for _, p := range ps {
+				if v := p.Eval(tm); v < want {
+					want = v
+				}
+			}
+			got, ok := env.Eval(tm)
+			if !ok {
+				t.Fatalf("trial %d: envelope undefined at %v", trial, tm)
+			}
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: env(%v) = %v, want %v", trial, tm, got, want)
+			}
+		}
+	}
+}
+
+// Property: each piece's function actually is the minimum throughout the
+// piece (sampled at several interior points), i.e. pieces are genuine.
+func TestPiecesAreGenuineProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(8)
+		cs := make([]curve.Curve, n)
+		for i := range cs {
+			cs[i] = pc(r.NormFloat64()*3, r.NormFloat64()*3, r.NormFloat64())
+		}
+		env := EnvelopeOfCurves(cs, Min)
+		for _, p := range env {
+			for _, frac := range []float64{0.25, 0.5, 0.75} {
+				var tm float64
+				if math.IsInf(p.Hi, 1) {
+					tm = p.Lo + frac*10
+				} else {
+					tm = p.Lo + frac*(p.Hi-p.Lo)
+				}
+				v := p.F.Eval(tm)
+				for j, c := range cs {
+					if c.Eval(tm) < v-1e-6*(1+math.Abs(v)) {
+						t.Fatalf("trial %d: piece %v beaten by curve %d at t=%v",
+							trial, p, j, tm)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnvelopeEmptyAndSingle(t *testing.T) {
+	if env := Envelope(nil, Min); env != nil {
+		t.Fatalf("empty envelope = %v", env)
+	}
+	one := Total(pc(3), 7)
+	env := Envelope([]Piecewise{one}, Min)
+	if len(env) != 1 || env[0].ID != 7 {
+		t.Fatalf("single envelope = %v", env)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	bad := Piecewise{
+		{F: pc(1), ID: 0, Lo: 0, Hi: 2},
+		{F: pc(2), ID: 1, Lo: 1, Hi: 3},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overlap not caught")
+	}
+	deg := Piecewise{{F: pc(1), ID: 0, Lo: 2, Hi: 2}}
+	if err := deg.Validate(); err == nil {
+		t.Fatal("degenerate interval not caught")
+	}
+}
+
+func TestPieceAt(t *testing.T) {
+	env := EnvelopeOfCurves([]curve.Curve{pc(0, 1), pc(4, -1)}, Min)
+	p, ok := env.PieceAt(3)
+	if !ok || p.ID != 1 {
+		t.Fatalf("PieceAt(3) = %v %v", p, ok)
+	}
+	if _, ok := env.PieceAt(-1); ok {
+		t.Fatal("PieceAt(-1) should fail")
+	}
+}
+
+func TestAngleEnvelope(t *testing.T) {
+	// Envelope of two angle curves: a fixed direction π/4 and a rotating
+	// direction atan(t) that starts below (0) and ends above (→π/2),
+	// crossing at t = 1.
+	fixed := curve.NewAngle(poly.Constant(1), poly.Constant(1))
+	rot := curve.NewAngle(poly.Constant(1), poly.X())
+	env := EnvelopeOfCurves([]curve.Curve{fixed, rot}, Min)
+	if len(env) != 2 {
+		t.Fatalf("angle envelope = %v", env)
+	}
+	if env[0].ID != 1 || env[1].ID != 0 {
+		t.Fatalf("angle envelope order = %v", env.IDs())
+	}
+	if math.Abs(env[0].Hi-1) > 1e-9 {
+		t.Fatalf("crossover = %v, want 1", env[0].Hi)
+	}
+}

@@ -1,0 +1,98 @@
+package poly
+
+import "math"
+
+// Sturm sequences give an independent, division-based way to *count*
+// distinct real roots on an interval. The envelope algorithms rely on
+// the bisection-based isolation in roots.go; the Sturm counter exists to
+// cross-validate it (property tests check the two agree), in the spirit
+// of the paper's requirement that root finding be an exact Θ(1)
+// primitive (§6, property 4).
+
+// Div returns the quotient and remainder of p / q (polynomial long
+// division). It panics if q is the zero polynomial.
+func (p Poly) Div(q Poly) (quo, rem Poly) {
+	qq := q.normalize()
+	if len(qq) == 0 {
+		panic("poly: division by zero polynomial")
+	}
+	r := make(Poly, len(p))
+	copy(r, p)
+	r = r.normalize()
+	if len(r) < len(qq) {
+		return nil, r
+	}
+	quo = make(Poly, len(r)-len(qq)+1)
+	lead := qq[len(qq)-1]
+	for len(r) >= len(qq) {
+		d := len(r) - len(qq)
+		c := r[len(r)-1] / lead
+		quo[d] = c
+		for i := range qq {
+			r[d+i] -= c * qq[i]
+		}
+		r[len(r)-1] = 0 // exact cancellation of the leading term
+		r = r.normalize()
+		if len(r) == 0 {
+			break
+		}
+	}
+	return quo.normalize(), r
+}
+
+// SturmChain returns the Sturm sequence p, p′, −rem(p, p′), … .
+func (p Poly) SturmChain() []Poly {
+	p0 := p.normalize()
+	if len(p0) == 0 {
+		return nil
+	}
+	chain := []Poly{p0}
+	p1 := p0.Derivative()
+	for !p1.IsZero() {
+		chain = append(chain, p1)
+		_, rem := chain[len(chain)-2].Div(p1)
+		p1 = rem.Neg()
+	}
+	return chain
+}
+
+// signVariations counts sign changes of the chain evaluated at t (zeros
+// skipped). t may be ±Inf (limit signs).
+func signVariations(chain []Poly, t float64) int {
+	vars, prev := 0, 0
+	for _, q := range chain {
+		var s int
+		if math.IsInf(t, 0) {
+			s = q.SignAtInfinity()
+			if math.IsInf(t, -1) && q.Degree()%2 == 1 {
+				s = -s
+			}
+		} else {
+			v := q.Eval(t)
+			switch {
+			case v > 0:
+				s = 1
+			case v < 0:
+				s = -1
+			}
+		}
+		if s != 0 {
+			if prev != 0 && s != prev {
+				vars++
+			}
+			prev = s
+		}
+	}
+	return vars
+}
+
+// CountRootsSturm returns the number of distinct real roots of p in the
+// half-open interval (lo, hi] by Sturm's theorem. lo and hi must not be
+// roots of p for the count to be exact; hi may be +Inf.
+func (p Poly) CountRootsSturm(lo, hi float64) int {
+	chain := p.SturmChain()
+	if len(chain) == 0 {
+		return 0
+	}
+	return signVariations(chain, lo) - signVariations(chain, hi)
+}

@@ -1,0 +1,101 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDivBasics(t *testing.T) {
+	// (t² − 1) / (t − 1) = (t + 1), rem 0.
+	p := New(-1, 0, 1)
+	q := New(-1, 1)
+	quo, rem := p.Div(q)
+	if !quo.Equal(New(1, 1)) || !rem.IsZero() {
+		t.Fatalf("quo=%v rem=%v", quo, rem)
+	}
+	// Degree(p) < Degree(q): quotient zero, remainder p.
+	quo, rem = q.Div(p)
+	if !quo.IsZero() || !rem.Equal(q) {
+		t.Fatalf("quo=%v rem=%v", quo, rem)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 2).Div(nil)
+}
+
+// Property: p = quo·q + rem at random sample points, and deg rem < deg q.
+func TestDivIdentityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		p := randPoly(r, 6)
+		q := randPoly(r, 4)
+		if q.IsZero() {
+			continue
+		}
+		quo, rem := p.Div(q)
+		if rem.Degree() >= q.Degree() && q.Degree() > 0 {
+			t.Fatalf("trial %d: deg rem %d ≥ deg q %d", trial, rem.Degree(), q.Degree())
+		}
+		for s := 0; s < 5; s++ {
+			x := r.NormFloat64() * 2
+			lhs := p.Eval(x)
+			rhs := quo.Eval(x)*q.Eval(x) + rem.Eval(x)
+			if !almostEq(lhs, rhs, 1e-7) {
+				t.Fatalf("trial %d: p(%v)=%v but quo·q+rem=%v (p=%v q=%v)",
+					trial, x, lhs, rhs, p, q)
+			}
+		}
+	}
+}
+
+func TestSturmKnownCounts(t *testing.T) {
+	// (t−1)(t−3)(t−5): three roots in (0, 6], one in (0, 2].
+	p := FromRoots(1, 3, 5)
+	if got := p.CountRootsSturm(0, 6); got != 3 {
+		t.Fatalf("count(0,6] = %d, want 3", got)
+	}
+	if got := p.CountRootsSturm(0, 2); got != 1 {
+		t.Fatalf("count(0,2] = %d, want 1", got)
+	}
+	if got := p.CountRootsSturm(6, math.Inf(1)); got != 0 {
+		t.Fatalf("count(6,∞] = %d, want 0", got)
+	}
+	// No real roots: t² + 1.
+	if got := New(1, 0, 1).CountRootsSturm(math.Inf(-1), math.Inf(1)); got != 0 {
+		t.Fatalf("t²+1 count = %d, want 0", got)
+	}
+}
+
+// TestSturmCrossValidatesIsolation: the bisection-based root isolation of
+// roots.go and the Sturm counter agree on the number of distinct roots of
+// random square-free-ish polynomials (well-separated integer-ish roots).
+func TestSturmCrossValidatesIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 300; trial++ {
+		nr := 1 + r.Intn(5)
+		used := map[int]bool{}
+		var roots []float64
+		for len(roots) < nr {
+			v := r.Intn(19) - 9
+			if !used[v] {
+				used[v] = true
+				roots = append(roots, float64(v))
+			}
+		}
+		p := FromRoots(roots...).Scale(1 + r.Float64()*3)
+		lo, hi := -9.5, 9.5
+		found := p.Roots(lo, hi)
+		want := p.CountRootsSturm(lo, hi)
+		if len(found) != want {
+			t.Fatalf("trial %d: isolation found %d roots %v, Sturm says %d (p=%v)",
+				trial, len(found), found, want, p)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package ratfun implements the ordered field of real rational functions,
+// ordered by their behaviour as t → +∞.
+//
+// Lemma 5.1 of the paper states that the steady-state minimum of two
+// bounded-degree polynomials can be determined in Θ(1) serial time; this
+// package is the systematic version of that observation. Every steady-state
+// algorithm in §5 (nearest neighbour, closest pair, hull, diameter,
+// smallest enclosing rectangle) is written once over the generic ordered
+// field Real and instantiated either with plain float64 (static systems,
+// k = 0) or with RatFun (k-motion systems evaluated "at infinity"), which
+// makes every geometric predicate exact in the steady state.
+package ratfun
+
+import (
+	"fmt"
+
+	"dyncg/internal/poly"
+)
+
+// Real is the ordered-field interface shared by F64 and RatFun. All
+// geometric predicates in internal/geom and internal/pgeom are generic
+// over it, mirroring the paper's device of reusing static algorithms for
+// steady-state inputs (Propositions 5.2–5.4, Theorem 5.8).
+//
+// The zero value of an implementing type must be the field's zero.
+type Real[T any] interface {
+	Add(T) T
+	Sub(T) T
+	Mul(T) T
+	Div(T) T // division by zero panics, as in float64 integer-like use
+	Neg() T
+	Half() T   // exact division by two (midpoints for envelope probes)
+	Sign() int // -1, 0, +1
+	Cmp(T) int
+	Float() float64 // representative numeric value (for display/output)
+}
+
+// F64 is the float64 instance of Real, used for static (k = 0) systems.
+type F64 float64
+
+// Add returns a + b.
+func (a F64) Add(b F64) F64 { return a + b }
+
+// Sub returns a − b.
+func (a F64) Sub(b F64) F64 { return a - b }
+
+// Mul returns a · b.
+func (a F64) Mul(b F64) F64 { return a * b }
+
+// Div returns a / b.
+func (a F64) Div(b F64) F64 {
+	if b == 0 {
+		panic("ratfun: division by zero")
+	}
+	return a / b
+}
+
+// Neg returns −a.
+func (a F64) Neg() F64 { return -a }
+
+// Half returns a / 2.
+func (a F64) Half() F64 { return a / 2 }
+
+// Sign returns the sign of a.
+func (a F64) Sign() int {
+	switch {
+	case a < 0:
+		return -1
+	case a > 0:
+		return 1
+	}
+	return 0
+}
+
+// Cmp compares a and b.
+func (a F64) Cmp(b F64) int { return (a - b).Sign() }
+
+// Float returns a as a float64.
+func (a F64) Float() float64 { return float64(a) }
+
+var _ Real[F64] = F64(0)
+
+// RatFun is a rational function Num/Den of the time variable, ordered by
+// its limit behaviour as t → +∞. The zero value represents 0 (Den nil is
+// read as the constant 1).
+type RatFun struct {
+	Num poly.Poly
+	Den poly.Poly
+}
+
+// FromPoly returns p viewed as a rational function.
+func FromPoly(p poly.Poly) RatFun { return RatFun{Num: p, Den: poly.Constant(1)} }
+
+// FromFloat returns the constant rational function c.
+func FromFloat(c float64) RatFun { return FromPoly(poly.Constant(c)) }
+
+// den returns the denominator, treating the zero value as 1.
+func (a RatFun) den() poly.Poly {
+	if a.Den.IsZero() {
+		return poly.Constant(1)
+	}
+	return a.Den
+}
+
+// normalize flips signs so the denominator is eventually positive, which
+// makes Sign a plain numerator test.
+func (a RatFun) normalize() RatFun {
+	d := a.den()
+	if d.SignAtInfinity() < 0 {
+		return RatFun{Num: a.Num.Neg(), Den: d.Neg()}
+	}
+	return RatFun{Num: a.Num, Den: d}
+}
+
+// Add returns a + b.
+func (a RatFun) Add(b RatFun) RatFun {
+	return RatFun{
+		Num: a.Num.Mul(b.den()).Add(b.Num.Mul(a.den())),
+		Den: a.den().Mul(b.den()),
+	}.normalize()
+}
+
+// Sub returns a − b.
+func (a RatFun) Sub(b RatFun) RatFun { return a.Add(b.Neg()) }
+
+// Mul returns a · b.
+func (a RatFun) Mul(b RatFun) RatFun {
+	return RatFun{Num: a.Num.Mul(b.Num), Den: a.den().Mul(b.den())}.normalize()
+}
+
+// Div returns a / b. It panics if b is identically zero.
+func (a RatFun) Div(b RatFun) RatFun {
+	if b.Num.IsZero() {
+		panic("ratfun: division by zero rational function")
+	}
+	return RatFun{Num: a.Num.Mul(b.den()), Den: a.den().Mul(b.Num)}.normalize()
+}
+
+// Neg returns −a.
+func (a RatFun) Neg() RatFun { return RatFun{Num: a.Num.Neg(), Den: a.den()} }
+
+// Half returns a / 2.
+func (a RatFun) Half() RatFun { return RatFun{Num: a.Num, Den: a.den().Scale(2)} }
+
+// Sign returns the sign of a(t) as t → +∞ (Lemma 5.1).
+func (a RatFun) Sign() int {
+	n := a.normalize()
+	return n.Num.SignAtInfinity()
+}
+
+// Cmp compares a and b as t → +∞.
+func (a RatFun) Cmp(b RatFun) int { return a.Sub(b).Sign() }
+
+// Float returns a representative value: the limit of a(t) as t → +∞ when
+// finite, otherwise an evaluation at a large time past all critical roots.
+func (a RatFun) Float() float64 {
+	n := a.normalize()
+	dn, dd := n.Num.Degree(), n.Den.Degree()
+	switch {
+	case dn < 0:
+		return 0
+	case dn < dd:
+		return 0
+	case dn == dd:
+		return n.Num.Lead() / n.Den.Lead()
+	default:
+		t := n.Num.CauchyRootBound() + n.Den.CauchyRootBound() + 10
+		return n.Num.Eval(t) / n.Den.Eval(t)
+	}
+}
+
+// Eval evaluates the rational function at a finite time.
+func (a RatFun) Eval(t float64) float64 { return a.Num.Eval(t) / a.den().Eval(t) }
+
+// String renders the rational function.
+func (a RatFun) String() string {
+	n := a.normalize()
+	if n.Den.Degree() == 0 && n.Den.Lead() == 1 {
+		return n.Num.String()
+	}
+	return fmt.Sprintf("(%s)/(%s)", n.Num, n.Den)
+}
+
+var _ Real[RatFun] = RatFun{}
