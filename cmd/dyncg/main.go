@@ -23,18 +23,22 @@ import (
 	"dyncg/internal/core"
 	"dyncg/internal/machine"
 	"dyncg/internal/motion"
+	"dyncg/internal/trace"
 )
 
 var (
-	algo     = flag.String("algo", "closest", "algorithm: closest|farthest|collisions|hullmember|containment|cube-edge|smallest-cube|steady-nn|steady-cp|steady-hull|steady-farthest|steady-rect")
-	n        = flag.Int("n", 16, "number of moving points")
-	k        = flag.Int("k", 1, "motion degree bound")
-	d        = flag.Int("d", 2, "dimension (planar algorithms need 2)")
-	topo     = flag.String("topo", "hypercube", "machine topology: mesh|hypercube")
-	workload = flag.String("workload", "random", "workload: random|converging|diverging|circle")
-	origin   = flag.Int("origin", 0, "query point index")
-	dims     = flag.String("dims", "10,10", "hyper-rectangle side lengths (containment)")
-	seed     = flag.Int64("seed", 1, "RNG seed")
+	algo      = flag.String("algo", "closest", "algorithm: closest|farthest|collisions|hullmember|containment|cube-edge|smallest-cube|steady-nn|steady-cp|steady-hull|steady-farthest|steady-rect")
+	n         = flag.Int("n", 16, "number of moving points")
+	k         = flag.Int("k", 1, "motion degree bound")
+	d         = flag.Int("d", 2, "dimension (planar algorithms need 2)")
+	topo      = flag.String("topo", "hypercube", "machine topology: mesh|hypercube")
+	workload  = flag.String("workload", "random", "workload: random|converging|diverging|circle")
+	origin    = flag.Int("origin", 0, "query point index")
+	dims      = flag.String("dims", "10,10", "hyper-rectangle side lengths (containment)")
+	seed      = flag.Int64("seed", 1, "RNG seed")
+	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file for the run")
+	costTree  = flag.Bool("costtree", false, "print the per-span cost-attribution tree after the run")
+	costDepth = flag.Int("costdepth", 0, "cost tree depth limit (0 = unlimited)")
 )
 
 func main() {
@@ -56,17 +60,26 @@ func main() {
 	fmt.Printf("workload: %s, n=%d, k=%d, d=%d, machine=%s\n",
 		*workload, sys.N(), sys.K, sys.D, *topo)
 
+	// attach installs a tracer on whichever machine the algorithm picks,
+	// when any trace output was requested.
+	var tr *trace.Tracer
+	attach := func(m *machine.M) *machine.M {
+		if *traceOut != "" || *costTree {
+			tr = trace.Attach(m, *algo)
+		}
+		return m
+	}
 	mkFor := func(s int) *machine.M {
 		if *topo == "mesh" {
-			return core.MeshFor(sys.N(), s)
+			return attach(core.MeshFor(sys.N(), s))
 		}
-		return core.CubeFor(sys.N(), s)
+		return attach(core.CubeFor(sys.N(), s))
 	}
 	mkOf := func(sz int) *machine.M {
 		if *topo == "mesh" {
-			return core.MeshOf(sz)
+			return attach(core.MeshOf(sz))
 		}
-		return core.CubeOf(sz)
+		return attach(core.CubeOf(sz))
 	}
 
 	var m *machine.M
@@ -153,6 +166,21 @@ func main() {
 		fatal("unknown algorithm %q", *algo)
 	}
 	fmt.Printf("\nsimulated parallel time on %s: %v\n", m.Topology().Name(), m.Stats())
+
+	if tr != nil {
+		root := tr.Finish()
+		if *costTree {
+			fmt.Println()
+			trace.WriteCostTree(os.Stdout, root, *costDepth)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			check(err)
+			check(trace.WriteChrome(f, root, m))
+			check(f.Close())
+			fmt.Printf("\nchrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		}
+	}
 }
 
 func ivString(lo, hi float64) string {

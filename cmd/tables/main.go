@@ -13,10 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"dyncg/internal/core"
 	"dyncg/internal/curve"
@@ -32,6 +35,7 @@ import (
 	"dyncg/internal/poly"
 	"dyncg/internal/pram"
 	"dyncg/internal/ratfun"
+	"dyncg/internal/trace"
 )
 
 var (
@@ -39,6 +43,8 @@ var (
 	figureFlag = flag.Int("figure", 0, "print only this figure (1-4)")
 	compFlag   = flag.Int("comparison", 0, "print only this comparison (1-4)")
 	seed       = flag.Int64("seed", 1988, "workload RNG seed")
+	jsonOut    = flag.Bool("json", false, "write BENCH_tables.json (one record per table cell, with claimed-bound ratios)")
+	traceDir   = flag.String("trace-dir", "", "write a Chrome trace per table row (at the largest n) into this directory")
 )
 
 func main() {
@@ -80,19 +86,116 @@ func main() {
 	if all || *compFlag == 4 {
 		comparison4()
 	}
+	if *jsonOut {
+		writeBenchJSON()
+	}
+}
+
+// benchRecord is one (row, topology, n) measurement of BENCH_tables.json:
+// the simulated time next to the paper's claimed Θ-bound evaluated at n,
+// and their ratio (flat ratios across n confirm the growth shape).
+type benchRecord struct {
+	Table    string  `json:"table"`
+	ID       string  `json:"id"`
+	Problem  string  `json:"problem"`
+	Topology string  `json:"topology"`
+	N        int     `json:"n"`
+	SimTime  int64   `json:"sim_time"`
+	Claim    string  `json:"claim"`
+	Bound    float64 `json:"bound"`
+	Ratio    float64 `json:"ratio"`
+}
+
+var benchRecords []benchRecord
+
+func writeBenchJSON() {
+	const path = "BENCH_tables.json"
+	b, err := json.MarshalIndent(benchRecords, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d records written to %s\n", len(benchRecords), path)
+}
+
+// Tracing hook for -trace-dir: printTable arms the hook before a run it
+// wants traced; the first machine the row builds (via machineOf or
+// machineFor) gets the tracer.
+var (
+	armLabel  string
+	armTracer *trace.Tracer
+	armM      *machine.M
+)
+
+func maybeTrace(m *machine.M) *machine.M {
+	if armLabel != "" && armTracer == nil {
+		armTracer = trace.Attach(m, armLabel)
+		armM = m
+	}
+	return m
+}
+
+func finishTrace(table, id, topo string) {
+	armLabel = ""
+	if armTracer == nil {
+		return
+	}
+	root := armTracer.Finish()
+	m := armM
+	armTracer, armM = nil, nil
+	path := filepath.Join(*traceDir, fmt.Sprintf("%s_%s_%s.json", table, id, topo))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	if err := trace.WriteChrome(f, root, m); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
 }
 
 func header(s string) { fmt.Printf("\n================ %s ================\n", s) }
 
 // row is one table row: a problem plus, per topology, a runner returning
-// the simulated time on a machine sized for n.
+// the simulated time on a machine sized for n, and the claimed Θ-bound
+// both as display text and as an evaluator (for BENCH_tables.json ratios).
 type row struct {
 	name  string
+	id    string
 	claim string
+	bound func(n int, topo string) float64
 	run   func(n int, topo string) (int64, error)
 }
 
-func printTable(sizes []int, rows []row) {
+// bnd pairs a mesh bound with a hypercube bound.
+func bnd(mesh, cube func(n int) float64) func(n int, topo string) float64 {
+	return func(n int, topo string) float64 {
+		if topo == "mesh" {
+			return mesh(n)
+		}
+		return cube(n)
+	}
+}
+
+func sqrtN(n int) float64 { return math.Sqrt(float64(n)) }
+func logN(n int) float64  { return math.Log2(float64(n)) }
+func log2N(n int) float64 { l := math.Log2(float64(n)); return l * l }
+
+// lamHalf evaluates the mesh bound λ^{1/2}(n−off, s).
+func lamHalf(off, s int) func(n int) float64 {
+	return func(n int) float64 { return math.Sqrt(float64(dsseq.LambdaBound(n-off, s))) }
+}
+
+func printTable(table string, sizes []int, rows []row) {
 	fmt.Printf("%-24s %-10s", "problem", "machine")
 	for _, n := range sizes {
 		fmt.Printf(" %12s", fmt.Sprintf("n=%d", n))
@@ -102,12 +205,27 @@ func printTable(sizes []int, rows []row) {
 		for _, topo := range []string{"mesh", "hypercube"} {
 			fmt.Printf("%-24s %-10s", rw.name, topo)
 			for _, n := range sizes {
+				wantTrace := *traceDir != "" && n == sizes[len(sizes)-1]
+				if wantTrace {
+					armLabel = fmt.Sprintf("%s/%s/%s", table, rw.id, topo)
+				}
 				t, err := rw.run(n, topo)
+				if wantTrace {
+					finishTrace(table, rw.id, topo)
+				}
 				if err != nil {
 					fmt.Printf(" %12s", "err")
 					continue
 				}
 				fmt.Printf(" %12d", t)
+				if *jsonOut {
+					b := rw.bound(n, topo)
+					benchRecords = append(benchRecords, benchRecord{
+						Table: table, ID: rw.id, Problem: rw.name,
+						Topology: topo, N: n, SimTime: t,
+						Claim: rw.claim, Bound: b, Ratio: float64(t) / b,
+					})
+				}
 			}
 			fmt.Printf("  %s\n", rw.claim)
 		}
@@ -122,15 +240,15 @@ func cubeM(n int) *machine.M {
 }
 func machineOf(n int, topo string) *machine.M {
 	if topo == "mesh" {
-		return meshM(n)
+		return maybeTrace(meshM(n))
 	}
-	return cubeM(n)
+	return maybeTrace(cubeM(n))
 }
 func machineFor(n, s int, topo string) *machine.M {
 	if topo == "mesh" {
-		return core.MeshFor(n, s)
+		return maybeTrace(core.MeshFor(n, s))
 	}
-	return core.CubeFor(n, s)
+	return maybeTrace(core.CubeFor(n, s))
 }
 
 // ---------------------------------------------------------------- figures
@@ -193,7 +311,7 @@ func table1() {
 		return vals
 	}
 	rows := []row{
-		{"semigroup", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+		{"semigroup", "semigroup", "Θ(√n) / Θ(log n)", bnd(sqrtN, logN), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
 			machine.Semigroup(m, regs, machine.WholeMachine(m.Size()), func(a, b int) int {
@@ -204,21 +322,21 @@ func table1() {
 			})
 			return m.Stats().Time(), nil
 		}},
-		{"broadcast", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+		{"broadcast", "broadcast", "Θ(√n) / Θ(log n)", bnd(sqrtN, logN), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			regs := make([]machine.Reg[int], m.Size())
 			regs[m.Size()/3] = machine.Some(1)
 			machine.Spread(m, regs, machine.WholeMachine(m.Size()))
 			return m.Stats().Time(), nil
 		}},
-		{"parallel prefix", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+		{"parallel prefix", "prefix", "Θ(√n) / Θ(log n)", bnd(sqrtN, logN), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
 			machine.Scan(m, regs, machine.WholeMachine(m.Size()), machine.Forward,
 				func(a, b int) int { return a + b })
 			return m.Stats().Time(), nil
 		}},
-		{"merging", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+		{"merging", "merge", "Θ(√n) / Θ(log n)", bnd(sqrtN, logN), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
 			machine.SortBlocks(m, regs, m.Size()/2, func(a, b int) bool { return a < b })
@@ -226,13 +344,13 @@ func table1() {
 			machine.MergeBlocks(m, regs, m.Size(), func(a, b int) bool { return a < b })
 			return m.Stats().Time(), nil
 		}},
-		{"sorting", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"sorting", "sort", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
 			machine.Sort(m, regs, func(a, b int) bool { return a < b })
 			return m.Stats().Time(), nil
 		}},
-		{"grouping", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"grouping", "group", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			regs := machine.Scatter(m.Size(), mkVals(m.Size()))
 			machine.Sort(m, regs, func(a, b int) bool { return a < b })
@@ -242,7 +360,7 @@ func table1() {
 			return m.Stats().Time(), nil
 		}},
 	}
-	printTable(sizes, rows)
+	printTable("table1", sizes, rows)
 }
 
 // ---------------------------------------------------------------- Table 2
@@ -261,38 +379,38 @@ func table2() {
 		conv[n] = motion.Converging(r, n)
 	}
 	rows := []row{
-		{"closest-point sequence", "Θ(λ^½(n−1,2k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"closest-point sequence", "closest-seq", "Θ(λ^½(n−1,2k)) / Θ(log² n)", bnd(lamHalf(1, 2*k), log2N), func(n int, topo string) (int64, error) {
 			m := machineFor(n, 2*k, topo)
 			_, err := core.ClosestPointSequence(m, sys2[n], 0)
 			return m.Stats().Time(), err
 		}},
-		{"collision times", "Θ(n^½) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"collision times", "collisions", "Θ(n^½) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			_, err := core.CollisionTimes(m, conv[n], 0)
 			return m.Stats().Time(), err
 		}},
-		{"hull-vertex intervals", "Θ(λ^½(n,4k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"hull-vertex intervals", "hull-member", "Θ(λ^½(n,4k)) / Θ(log² n)", bnd(lamHalf(0, 4*k), log2N), func(n int, topo string) (int64, error) {
 			m := machineFor(n, 4*k+2, topo)
 			_, err := core.HullVertexIntervals(m, sys2[n], 0)
 			return m.Stats().Time(), err
 		}},
-		{"containment intervals", "Θ(λ^½(n,k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"containment intervals", "containment", "Θ(λ^½(n,k)) / Θ(log² n)", bnd(lamHalf(0, k), log2N), func(n int, topo string) (int64, error) {
 			m := machineFor(n, k+2, topo)
 			_, err := core.ContainmentIntervals(m, sys3[n], []float64{12, 12, 12})
 			return m.Stats().Time(), err
 		}},
-		{"cube edgelength fn", "Θ(λ^½(n,k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"cube edgelength fn", "cube-edge", "Θ(λ^½(n,k)) / Θ(log² n)", bnd(lamHalf(0, k), log2N), func(n int, topo string) (int64, error) {
 			m := machineFor(n, k+2, topo)
 			_, err := core.SmallestHypercubeEdge(m, sys3[n])
 			return m.Stats().Time(), err
 		}},
-		{"smallest-ever cube", "Θ(λ^½(n,k)) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"smallest-ever cube", "smallest-cube", "Θ(λ^½(n,k)) / Θ(log² n)", bnd(lamHalf(0, k), log2N), func(n int, topo string) (int64, error) {
 			m := machineFor(n, k+2, topo)
 			_, _, err := core.SmallestEverHypercube(m, sys3[n])
 			return m.Stats().Time(), err
 		}},
 	}
-	printTable(sizes, rows)
+	printTable("table2", sizes, rows)
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -308,33 +426,33 @@ func table3() {
 		div[n] = motion.Diverging(r, n)
 	}
 	rows := []row{
-		{"nearest neighbour", "Θ(√n) / Θ(log n)", func(n int, topo string) (int64, error) {
+		{"nearest neighbour", "steady-nn", "Θ(√n) / Θ(log n)", bnd(sqrtN, logN), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)
 			_, err := core.SteadyNearestNeighbor(m, sys[n], 0, false)
 			return m.Stats().Time(), err
 		}},
-		{"closest pair", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"closest pair", "steady-cp", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(4*n, topo)
 			_, _, err := core.SteadyClosestPair(m, sys[n])
 			return m.Stats().Time(), err
 		}},
-		{"ordered hull(S)", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"ordered hull(S)", "steady-hull", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			_, err := core.SteadyHull(m, sys[n])
 			return m.Stats().Time(), err
 		}},
-		{"farthest pair", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"farthest pair", "steady-farthest", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			_, _, _, err := core.SteadyFarthestPair(m, div[n])
 			return m.Stats().Time(), err
 		}},
-		{"min-area rectangle", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"min-area rectangle", "steady-rect", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			_, err := core.SteadyMinAreaRect(m, div[n])
 			return m.Stats().Time(), err
 		}},
 	}
-	printTable(sizes, rows)
+	printTable("table3", sizes, rows)
 }
 
 // ---------------------------------------------------------------- Table 4
@@ -356,28 +474,28 @@ func table4() {
 		hullOf[n] = geom.Hull(pts)
 	}
 	rows := []row{
-		{"closest pair", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"closest pair", "static-cp", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(4*n, topo)
 			pgeom.ClosestPair(m, ptsOf[n])
 			return m.Stats().Time(), nil
 		}},
-		{"convex hull", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"convex hull", "static-hull", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			_, err := pgeom.HullStatic(m, ptsOf[n])
 			return m.Stats().Time(), err
 		}},
-		{"antipodal vertices", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"antipodal vertices", "antipodal", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			pgeom.AntipodalPairs(m, hullOf[n])
 			return m.Stats().Time(), nil
 		}},
-		{"min enclosing rect", "Θ(√n) / Θ(log² n)", func(n int, topo string) (int64, error) {
+		{"min enclosing rect", "static-rect", "Θ(√n) / Θ(log² n)", bnd(sqrtN, log2N), func(n int, topo string) (int64, error) {
 			m := machineOf(8*n, topo)
 			pgeom.MinAreaRect(m, hullOf[n])
 			return m.Stats().Time(), nil
 		}},
 	}
-	printTable(sizes, rows)
+	printTable("table4", sizes, rows)
 }
 
 // ----------------------------------------------------------- comparisons

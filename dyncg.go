@@ -47,6 +47,7 @@
 package dyncg
 
 import (
+	"io"
 	"math/rand"
 
 	"dyncg/internal/core"
@@ -58,6 +59,7 @@ import (
 	"dyncg/internal/penvelope"
 	"dyncg/internal/pieces"
 	"dyncg/internal/poly"
+	"dyncg/internal/trace"
 )
 
 // Point is a moving point-object: one polynomial per coordinate (§2.4).
@@ -229,3 +231,40 @@ func PairSequencePEs(n, k int) int { return core.PairSequencePEs(n, k) }
 func SteadyNearestNeighborD(m *Machine, sys *System, origin int, farthest bool) (int, error) {
 	return core.SteadyNearestNeighborD(m, sys, origin, farthest)
 }
+
+// --- tracing & cost attribution ------------------------------------------
+
+// Tracer records a hierarchical span tree attributing a machine's
+// simulated time to algorithm phases and data-movement primitives.
+type Tracer = trace.Tracer
+
+// TraceSpan is one node of a recorded span tree; its Delta is the
+// simulated-time Stats charged while the span was open.
+type TraceSpan = trace.Span
+
+// TraceMetrics is an aggregate per-primitive cost registry built from a
+// span tree.
+type TraceMetrics = trace.Metrics
+
+// AttachTracer installs a Tracer on m. Run any algorithms, then call
+// Finish to obtain the span tree; while attached, every primitive
+// (sort, merge, prefix, broadcast, …) and every instrumented theorem
+// records a span.
+func AttachTracer(m *Machine, rootName string) *Tracer { return trace.Attach(m, rootName) }
+
+// WriteChromeTrace writes a span tree in Chrome trace-event JSON format
+// (load the file in chrome://tracing or ui.perfetto.dev; timestamps are
+// simulated steps rendered as microseconds).
+func WriteChromeTrace(w io.Writer, root *TraceSpan, m *Machine) error {
+	return trace.WriteChrome(w, root, m)
+}
+
+// WriteCostTree pretty-prints the per-span cost-attribution tree
+// (maxDepth 0 means unlimited).
+func WriteCostTree(w io.Writer, root *TraceSpan, maxDepth int) {
+	trace.WriteCostTree(w, root, maxDepth)
+}
+
+// CollectTraceMetrics aggregates the per-primitive self-costs of a span
+// tree (totals sum exactly to the root's Stats).
+func CollectTraceMetrics(root *TraceSpan) *TraceMetrics { return trace.Collect(root) }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"dyncg/internal/curve"
 	"dyncg/internal/machine"
@@ -119,6 +120,11 @@ func ContainmentIntervals(m *machine.M, sys *motion.System, dims []float64) ([]I
 	if len(dims) != sys.D {
 		return nil, fmt.Errorf("core: %d dims for %d-dimensional system", len(dims), sys.D)
 	}
+	if m.Observed() {
+		m.SpanBegin("thm4.6-containment",
+			"n", strconv.Itoa(sys.N()), "d", strconv.Itoa(sys.D))
+		defer m.SpanEnd()
+	}
 	spans, err := spanFunctions(m, sys)
 	if err != nil {
 		return nil, err
@@ -149,6 +155,11 @@ func ContainmentIntervals(m *machine.M, sys *motion.System, dims []float64) ([]I
 // containing the system — D(t) = max_i D_i(t), Θ(1) further Lemma 3.1
 // passes after Theorem 4.6's Step 1–2.
 func SmallestHypercubeEdge(m *machine.M, sys *motion.System) (pieces.Piecewise, error) {
+	if m.Observed() {
+		m.SpanBegin("thm4.7-cube-edge",
+			"n", strconv.Itoa(sys.N()), "d", strconv.Itoa(sys.D))
+		defer m.SpanEnd()
+	}
 	spans, err := spanFunctions(m, sys)
 	if err != nil {
 		return nil, err
@@ -168,6 +179,10 @@ func SmallestHypercubeEdge(m *machine.M, sys *motion.System) (pieces.Piecewise, 
 // (endpoint and critical-point evaluations of a bounded-degree
 // polynomial), then one semigroup.
 func SmallestEverHypercube(m *machine.M, sys *motion.System) (dmin, tmin float64, err error) {
+	if m.Observed() {
+		m.SpanBegin("cor4.8-smallest-cube", "n", strconv.Itoa(sys.N()))
+		defer m.SpanEnd()
+	}
 	d, err := SmallestHypercubeEdge(m, sys)
 	if err != nil {
 		return 0, 0, err

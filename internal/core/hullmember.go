@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"dyncg/internal/curve"
 	"dyncg/internal/machine"
@@ -42,6 +43,11 @@ func HullVertexIntervals(m *machine.M, sys *motion.System, origin int) ([]Interv
 	if n <= 2 {
 		// One or two points: every point is always extreme.
 		return []Interval{{Lo: 0, Hi: math.Inf(1)}}, nil
+	}
+	if m.Observed() {
+		m.SpanBegin("thm4.5-hull-membership",
+			"n", strconv.Itoa(n), "origin", strconv.Itoa(origin))
+		defer m.SpanEnd()
 	}
 	// Broadcast P₀'s trajectory (Θ(1) rounds).
 	N := m.Size()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"dyncg/internal/curve"
 	"dyncg/internal/dsseq"
@@ -48,6 +49,14 @@ func pairSequence(m *machine.M, sys *motion.System, kind pieces.Kind) ([]PairEve
 	n := sys.N()
 	if n < 2 {
 		return nil, fmt.Errorf("core: pair sequence needs at least two points")
+	}
+	if m.Observed() {
+		name := "s6-closest-pair-seq"
+		if kind == pieces.Max {
+			name = "s6-farthest-pair-seq"
+		}
+		m.SpanBegin(name, "n", strconv.Itoa(n), "pairs", strconv.Itoa(n*(n-1)/2))
+		defer m.SpanEnd()
 	}
 	// One PE per pair builds d²_{ij}(t) — Θ(1) local work after an
 	// all-pairs replication, which is itself a sort-bounded grouping
@@ -114,6 +123,10 @@ func SerialClosestPairSequence(sys *motion.System, kind pieces.Kind) []PairEvent
 func SteadyNearestNeighborD(m *machine.M, sys *motion.System, origin int, farthest bool) (int, error) {
 	if origin < 0 || origin >= sys.N() {
 		return -1, fmt.Errorf("core: origin %d out of range", origin)
+	}
+	if m.Observed() {
+		m.SpanBegin("s6-steady-nn-d", "n", strconv.Itoa(sys.N()), "d", strconv.Itoa(sys.D))
+		defer m.SpanEnd()
 	}
 	n := m.Size()
 	fregs := make([]machine.Reg[motion.Point], n)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
@@ -29,6 +30,11 @@ func SteadyPoints(sys *motion.System) ([]geom.Point[ratfun.RatFun], error) {
 // nearest (or farthest) neighbour of sys.Points[origin], in Θ(√n) mesh /
 // Θ(log n) hypercube time on Θ(n) PEs (MeshOf/CubeOf).
 func SteadyNearestNeighbor(m *machine.M, sys *motion.System, origin int, farthest bool) (int, error) {
+	if m.Observed() {
+		m.SpanBegin("prop5.2-steady-nn",
+			"n", strconv.Itoa(sys.N()), "origin", strconv.Itoa(origin))
+		defer m.SpanEnd()
+	}
 	pts, err := SteadyPoints(sys)
 	if err != nil {
 		return -1, err
@@ -54,6 +60,10 @@ func SteadyNearestViaTransient(m *machine.M, sys *motion.System, origin int) (in
 // SteadyClosestPair implements Proposition 5.3 on Θ(n) PEs:
 // Θ(√n) mesh, Θ(log² n) hypercube.
 func SteadyClosestPair(m *machine.M, sys *motion.System) (int, int, error) {
+	if m.Observed() {
+		m.SpanBegin("prop5.3-steady-cp", "n", strconv.Itoa(sys.N()))
+		defer m.SpanEnd()
+	}
 	pts, err := SteadyPoints(sys)
 	if err != nil {
 		return -1, -1, err
@@ -65,6 +75,10 @@ func SteadyClosestPair(m *machine.M, sys *motion.System) (int, int, error) {
 // SteadyHull implements Proposition 5.4: the steady-state hull(S), as
 // point indices in CCW order. Θ(n) PEs; sort-bounded time.
 func SteadyHull(m *machine.M, sys *motion.System) ([]int, error) {
+	if m.Observed() {
+		m.SpanBegin("prop5.4-steady-hull", "n", strconv.Itoa(sys.N()))
+		defer m.SpanEnd()
+	}
 	pts, err := SteadyPoints(sys)
 	if err != nil {
 		return nil, err
@@ -78,6 +92,10 @@ func SteadyHull(m *machine.M, sys *motion.System) ([]int, error) {
 // the pair — the "diameter function" of Proposition 5.6, valid for all
 // sufficiently large t.
 func SteadyFarthestPair(m *machine.M, sys *motion.System) (int, int, poly.Poly, error) {
+	if m.Observed() {
+		m.SpanBegin("cor5.7-steady-farthest", "n", strconv.Itoa(sys.N()))
+		defer m.SpanEnd()
+	}
 	pts, err := SteadyPoints(sys)
 	if err != nil {
 		return -1, -1, nil, err
@@ -106,6 +124,10 @@ type SteadyRect = geom.Rect[ratfun.RatFun]
 // (Proposition 5.4) followed by Theorem 5.8's per-edge rectangle
 // construction. Θ(n) PEs; Θ(√n) mesh / sort-bounded hypercube time.
 func SteadyMinAreaRect(m *machine.M, sys *motion.System) (SteadyRect, error) {
+	if m.Observed() {
+		m.SpanBegin("cor5.9-steady-rect", "n", strconv.Itoa(sys.N()))
+		defer m.SpanEnd()
+	}
 	pts, err := SteadyPoints(sys)
 	if err != nil {
 		return SteadyRect{}, err

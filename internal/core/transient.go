@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"dyncg/internal/machine"
 	"dyncg/internal/motion"
@@ -37,6 +38,14 @@ func FarthestPointSequence(m *machine.M, sys *motion.System, origin int) ([]Neig
 func neighborSequence(m *machine.M, sys *motion.System, origin int, kind pieces.Kind) ([]NeighborEvent, error) {
 	if origin < 0 || origin >= sys.N() {
 		return nil, fmt.Errorf("core: origin %d out of range", origin)
+	}
+	if m.Observed() {
+		name := "thm4.1-closest-seq"
+		if kind == pieces.Max {
+			name = "thm4.1-farthest-seq"
+		}
+		m.SpanBegin(name, "n", strconv.Itoa(sys.N()), "origin", strconv.Itoa(origin))
+		defer m.SpanEnd()
 	}
 	// Broadcast the query point's trajectory (one broadcast, §4.1).
 	n := m.Size()
@@ -83,6 +92,10 @@ type Collision struct {
 // 2^⌈log₂ n⌉ PEs (use MeshOf/CubeOf with n·(2k+1) capacity for the
 // one-root-per-PE layout).
 func CollisionTimes(m *machine.M, sys *motion.System, origin int) ([]Collision, error) {
+	if m.Observed() {
+		m.SpanBegin("thm4.2-collisions", "n", strconv.Itoa(sys.N()), "origin", strconv.Itoa(origin))
+		defer m.SpanEnd()
+	}
 	n := m.Size()
 	fregs := make([]machine.Reg[motion.Point], n)
 	fregs[origin%n] = machine.Some(sys.Points[origin])
@@ -139,6 +152,10 @@ func SerialCollisionTimes(sys *motion.System, origin int) []Collision {
 // packLists packs per-PE bounded lists into one register per PE via a
 // parallel prefix and a constant number of structured routes.
 func packLists[T any](m *machine.M, lists [][]T) []machine.Reg[T] {
+	if m.Observed() {
+		m.SpanBegin("pack", "n", strconv.Itoa(len(lists)))
+		defer m.SpanEnd()
+	}
 	n := len(lists)
 	counts := make([]machine.Reg[int], n)
 	m.ChargeLocal(1)

@@ -53,16 +53,49 @@ type Stats struct {
 // paper's Θ-bounds describe.
 func (s Stats) Time() int64 { return s.CommSteps + s.LocalSteps }
 
+// Sub returns the counter-wise difference s − prev: the cost accumulated
+// between two snapshots. It is the span-delta primitive of
+// internal/trace (a span records Stats at Begin and End; Sub of the two
+// is the span's cost).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		CommSteps:  s.CommSteps - prev.CommSteps,
+		LocalSteps: s.LocalSteps - prev.LocalSteps,
+		Rounds:     s.Rounds - prev.Rounds,
+		Messages:   s.Messages - prev.Messages,
+	}
+}
+
+// Add returns the counter-wise sum s + other.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		CommSteps:  s.CommSteps + other.CommSteps,
+		LocalSteps: s.LocalSteps + other.LocalSteps,
+		Rounds:     s.Rounds + other.Rounds,
+		Messages:   s.Messages + other.Messages,
+	}
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("time=%d (comm=%d local=%d rounds=%d msgs=%d)",
 		s.Time(), s.CommSteps, s.LocalSteps, s.Rounds, s.Messages)
 }
 
 // M is a simulated SIMD machine: a topology plus cost accounting.
+//
+// Concurrency contract: an M is confined to a single goroutine. The cost
+// caches (xorCost, shiftCost) and counters are mutated without
+// synchronization on every charged round, so sharing one M across
+// goroutines — even for "read-only" primitives — is a data race. What IS
+// safe to share is the Topology: mesh.Mesh, hypercube.Cube, ccc.CCC and
+// shuffle.SE are immutable after construction, so concurrent simulations
+// should wrap one shared Topology in one M per goroutine (exercised under
+// -race by TestTopologySharedAcrossMachines).
 type M struct {
 	topo Topology
 	n    int
 	st   Stats
+	obs  Observer // nil unless tracing is attached (see observe.go)
 
 	xorCost   map[int]int // bit → worst partner distance for i ⊕ 2^b
 	shiftCost map[int]int // offset → worst partner distance for i → i+off
@@ -83,7 +116,14 @@ func (m *M) Topology() Topology { return m.topo }
 // Stats returns the accumulated counters.
 func (m *M) Stats() Stats { return m.st }
 
-// Reset clears the counters (the cost caches survive).
+// Reset zeroes every Stats counter, restarting the simulated clock at 0.
+// The xor/shift round-cost caches are deliberately preserved — they
+// depend only on the (immutable) topology, so identical operation
+// sequences charge identical costs before and after a Reset. An attached
+// Observer is also preserved; note that resetting mid-span rewinds the
+// simulated timeline a tracer sees (spans opened before the Reset will
+// record an End snapshot smaller than their Begin), so attach tracers to
+// freshly reset machines.
 func (m *M) Reset() { m.st = Stats{} }
 
 // xorRoundCost returns (and caches) the worst partner distance of a
@@ -128,22 +168,38 @@ func (m *M) shiftRoundCost(off int) int {
 
 // chargeXOR records one bit-b XOR round with the given message count.
 func (m *M) chargeXOR(b int, msgs int) {
+	d := m.xorRoundCost(b)
 	m.st.Rounds++
-	m.st.CommSteps += int64(m.xorRoundCost(b))
+	m.st.CommSteps += int64(d)
 	m.st.LocalSteps++
 	m.st.Messages += int64(msgs)
+	if m.obs != nil {
+		m.obs.Round(RoundInfo{Kind: RoundXOR, Param: b, Dist: d, Msgs: msgs})
+	}
 }
 
 // chargeShift records one ±off shift round.
 func (m *M) chargeShift(off, msgs int) {
+	d := m.shiftRoundCost(off)
 	m.st.Rounds++
-	m.st.CommSteps += int64(m.shiftRoundCost(off))
+	m.st.CommSteps += int64(d)
 	m.st.LocalSteps++
 	m.st.Messages += int64(msgs)
+	if m.obs != nil {
+		if off < 0 {
+			off = -off
+		}
+		m.obs.Round(RoundInfo{Kind: RoundShift, Param: off, Dist: d, Msgs: msgs})
+	}
 }
 
 // ChargeLocal records phases of pure Θ(1)-per-PE local computation.
-func (m *M) ChargeLocal(phases int) { m.st.LocalSteps += int64(phases) }
+func (m *M) ChargeLocal(phases int) {
+	m.st.LocalSteps += int64(phases)
+	if m.obs != nil {
+		m.obs.Round(RoundInfo{Kind: RoundLocal, Param: phases})
+	}
+}
 
 // ChargeRoute records a structured route in which item i moves to
 // dest[i] (dest must be injective on the valid entries; the patterns used
@@ -166,6 +222,9 @@ func (m *M) ChargeRoute(src, dest []int) {
 	m.st.CommSteps += int64(max)
 	m.st.LocalSteps++
 	m.st.Messages += int64(msgs)
+	if m.obs != nil {
+		m.obs.Round(RoundInfo{Kind: RoundRoute, Dist: max, Msgs: msgs})
+	}
 }
 
 // Bits returns ⌈log₂ n⌉ for the machine size.

@@ -1,0 +1,88 @@
+package machine
+
+// This file is the instrumentation hook surface of the simulator. The
+// machine itself stays dependency-free: it only *emits* structured cost
+// events through the Observer interface, and internal/trace (or any other
+// consumer) implements it. When no observer is attached every hook is a
+// single nil check, so the uninstrumented fast path stays within noise of
+// the pre-hook simulator (see BenchmarkObserverOverhead in
+// internal/trace).
+
+// RoundKind classifies a charged cost event.
+type RoundKind uint8
+
+// The cost event kinds, one per charging entry point of M.
+const (
+	RoundXOR   RoundKind = iota // partner i ⊕ 2^b (bitonic merge/sort)
+	RoundShift                  // partner i ± off (prefix, broadcast, …)
+	RoundRoute                  // one structured route
+	RoundLocal                  // pure Θ(1)-per-PE local phases
+)
+
+// String returns the kind name used in traces and metrics.
+func (k RoundKind) String() string {
+	switch k {
+	case RoundXOR:
+		return "xor"
+	case RoundShift:
+		return "shift"
+	case RoundRoute:
+		return "route"
+	case RoundLocal:
+		return "local"
+	}
+	return "unknown"
+}
+
+// RoundInfo describes one charged cost event: a communication round, a
+// structured route, or a batch of local phases.
+type RoundInfo struct {
+	Kind  RoundKind
+	Param int // bit b for XOR rounds, |offset| for shift rounds, phase count for local
+	Dist  int // communication steps charged (worst link distance of the round)
+	Msgs  int // point-to-point messages sent in the round
+}
+
+// Observer receives cost events and span boundaries from a machine.
+// Implementations must be cheap: every hook runs synchronously inside the
+// simulator. The machine calls the hooks from the single goroutine that
+// drives it (see the concurrency contract on M).
+type Observer interface {
+	// SpanBegin opens a nested attribution scope (a primitive such as
+	// "sort", or an algorithm-level scope like a theorem's name). kv holds
+	// alternating key/value attribute pairs.
+	SpanBegin(name string, kv []string)
+	// SpanEnd closes the innermost open scope.
+	SpanEnd()
+	// Round reports one charged cost event inside the current scope.
+	Round(RoundInfo)
+}
+
+// SetObserver attaches (or, with nil, detaches) the machine's observer.
+// Tracing is opt-in: with no observer attached all hooks reduce to nil
+// checks.
+func (m *M) SetObserver(o Observer) { m.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (m *M) Observer() Observer { return m.obs }
+
+// Observed reports whether an observer is attached. Callers building
+// non-trivial span attributes should gate on it to keep the disabled
+// path allocation-free.
+func (m *M) Observed() bool { return m.obs != nil }
+
+// SpanBegin opens a named attribution scope on the attached observer, if
+// any. kv holds alternating key/value attribute pairs; every SpanBegin
+// must be matched by a SpanEnd on the same machine.
+func (m *M) SpanBegin(name string, kv ...string) {
+	if m.obs != nil {
+		m.obs.SpanBegin(name, kv)
+	}
+}
+
+// SpanEnd closes the innermost scope opened by SpanBegin.
+func (m *M) SpanEnd() {
+	if m.obs != nil {
+		m.obs.SpanEnd()
+	}
+}

@@ -9,6 +9,25 @@ package machine
 // string simultaneously, as the paper requires ("there are multiple
 // strings in which the operations are to be performed in parallel").
 
+import "strconv"
+
+// pspan opens a primitive-level span on the attached observer (nil-check
+// fast path: zero work when tracing is off). Callers must invoke the
+// returned closer; attribute construction only happens when observed.
+func pspan(m *M, name string, size int) func() {
+	if m.obs == nil {
+		return nil
+	}
+	m.obs.SpanBegin(name, []string{"n", strconv.Itoa(size)})
+	return m.obs.SpanEnd
+}
+
+func closeSpan(end func()) {
+	if end != nil {
+		end()
+	}
+}
+
 // Reg is one PE's register: a value and a validity flag.
 type Reg[T any] struct {
 	V  T
@@ -57,6 +76,7 @@ const (
 // place; each PE ends with the combined value of all items from its
 // segment boundary through itself.
 func Scan[T any](m *M, regs []Reg[T], segStart []bool, dir ScanDir, op func(a, b T) T) {
+	defer closeSpan(pspan(m, "prefix", len(regs)))
 	n := len(regs)
 	fl := make([]bool, n)
 	if dir == Forward {
@@ -128,6 +148,7 @@ func combine[T any](neigh, local Reg[T], dir ScanDir, op func(a, b T) T) Reg[T] 
 // marked item per string this is the broadcast operation of §2.6, costing
 // Θ(√n) mesh / Θ(log n) hypercube time.
 func Spread[T any](m *M, regs []Reg[T], segStart []bool) {
+	defer closeSpan(pspan(m, "broadcast", len(regs)))
 	fwd := make([]Reg[T], len(regs))
 	copy(fwd, regs)
 	keep := func(a, b T) T { return a }
@@ -148,6 +169,7 @@ func Spread[T any](m *M, regs []Reg[T], segStart []bool) {
 // segment and delivers the result to every PE of the segment (§2.6:
 // semigroup computation — min, max, sum, …).
 func Semigroup[T any](m *M, regs []Reg[T], segStart []bool, op func(a, b T) T) {
+	defer closeSpan(pspan(m, "semigroup", len(regs)))
 	Scan(m, regs, segStart, Forward, op)
 	// Totals now sit at each segment's last occupied PE; flood them back.
 	n := len(regs)
@@ -211,6 +233,7 @@ func MergeBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) 
 	if block < 2 {
 		return
 	}
+	defer closeSpan(pspan(m, "merge", block))
 	blockOf := func(i int) int { return i / block }
 	// First stage: compare i with its mirror in the block (i ⊕ (block−1)),
 	// which turns ascending+ascending into two half-blocks each bitonic
@@ -226,6 +249,7 @@ func MergeBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) 
 // the hypercube for full-machine blocks (Table 1: sort). Empty registers
 // gather at the tail of each block.
 func SortBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) {
+	defer closeSpan(pspan(m, "sort", block))
 	for sub := 2; sub <= block; sub *= 2 {
 		MergeBlocks(m, regs, sub, less)
 	}
@@ -243,6 +267,7 @@ func Sort[T any](m *M, regs []Reg[T], less func(a, b T) bool) {
 // one structured route (the "pack into a string" step used throughout
 // §4–§5).
 func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
+	defer closeSpan(pspan(m, "compact", len(regs)))
 	n := len(regs)
 	// Rank each occupied register within its segment (exclusive count).
 	counts := make([]Reg[int], n)
@@ -282,6 +307,7 @@ func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
 // It is charged as one structured route; callers only use monotone or
 // block-local patterns that admit congestion-free greedy routing.
 func Route[T any](m *M, regs []Reg[T], dest []int) {
+	defer closeSpan(pspan(m, "route", len(regs)))
 	n := len(regs)
 	out := make([]Reg[T], n)
 	var src, dst []int

@@ -24,12 +24,21 @@ package penvelope
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"dyncg/internal/curve"
 	"dyncg/internal/dsseq"
 	"dyncg/internal/machine"
 	"dyncg/internal/pieces"
 )
+
+// kindName names the envelope kind in trace spans.
+func kindName(kind pieces.Kind) string {
+	if kind == pieces.Max {
+		return "max"
+	}
+	return "min"
+}
 
 // envReg is one PE's register during envelope construction: a piece plus
 // the half ("string") it belonged to at the current merge level — the
@@ -69,6 +78,11 @@ func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Pie
 	N := m.Size()
 	if n == 0 {
 		return nil, nil
+	}
+	if m.Observed() {
+		m.SpanBegin("thm3.2-envelope",
+			"funcs", strconv.Itoa(n), "kind", kindName(kind))
+		defer m.SpanEnd()
 	}
 	maxInit := 1
 	for _, f := range fs {
@@ -124,6 +138,10 @@ func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Pie
 // notes after Lemma 3.1: "the algorithm ... can also be used to construct
 // ... any of a variety of operations (e.g., max, sum, product)").
 func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func(fw, gw pieces.Piecewise) pieces.Piecewise) error {
+	if m.Observed() {
+		m.SpanBegin("lemma3.1-merge", "block", strconv.Itoa(block))
+		defer m.SpanEnd()
+	}
 	N := len(regs)
 	half := block / 2
 	// Step 1: tag sides.
@@ -244,6 +262,10 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 // combineRuns merges maximal runs of adjacent pieces with equal ID whose
 // intervals abut, the parallel form of Piecewise.Compact.
 func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
+	if m.Observed() {
+		m.SpanBegin("combine-runs", "block", strconv.Itoa(block))
+		defer m.SpanEnd()
+	}
 	N := len(regs)
 	prev := machine.ShiftWithin(m, regs, block, +1) // prev[i] = regs[i-1]
 	runStart := make([]bool, N)

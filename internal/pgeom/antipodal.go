@@ -1,6 +1,8 @@
 package pgeom
 
 import (
+	"strconv"
+
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
 	"dyncg/internal/ratfun"
@@ -115,6 +117,10 @@ func AntipodalPairs[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) [][2]i
 	if h == 2 {
 		return [][2]int{{0, 1}}
 	}
+	if m.Observed() {
+		m.SpanBegin("lemma5.5-antipodal", "hull", strconv.Itoa(h))
+		defer m.SpanEnd()
+	}
 	queries := make([]geom.Point[T], h)
 	for j := 0; j < h; j++ {
 		queries[j] = hull[j].Sub(hull[(j+1)%h]) // −E_j
@@ -148,6 +154,10 @@ func AntipodalPairs[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) [][2]i
 // antipodal pair (Proposition 5.6): antipodal pairs, a Θ(1) local max per
 // PE, then a global semigroup.
 func Diameter[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) (T, [2]int) {
+	if m.Observed() {
+		m.SpanBegin("prop5.6-diameter", "hull", strconv.Itoa(len(hull)))
+		defer m.SpanEnd()
+	}
 	pairs := AntipodalPairs(m, hull)
 	type cand struct {
 		d    T
@@ -201,6 +211,10 @@ func MinAreaRect[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) geom.Rect
 	h := len(hull)
 	if h < 3 {
 		panic("pgeom: MinAreaRect requires a non-degenerate polygon")
+	}
+	if m.Observed() {
+		m.SpanBegin("thm5.8-min-rect", "hull", strconv.Itoa(h))
+		defer m.SpanEnd()
 	}
 	// Three query directions per edge: opposite ray (Step 1, via
 	// Lemma 5.5), and the two perpendicular rays (Steps 2–3).

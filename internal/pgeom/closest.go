@@ -1,6 +1,8 @@
 package pgeom
 
 import (
+	"strconv"
+
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
 	"dyncg/internal/ratfun"
@@ -28,6 +30,10 @@ type pairCand[T ratfun.Real[T]] struct {
 func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int, d2 T) {
 	if len(pts) < 2 {
 		panic("pgeom: ClosestPair needs at least two points")
+	}
+	if m.Observed() {
+		m.SpanBegin("closest-pair", "n", strconv.Itoa(len(pts)))
+		defer m.SpanEnd()
 	}
 	n := m.Size()
 	lessX := func(x, y geom.Point[T]) bool {

@@ -3,6 +3,7 @@ package pgeom
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"dyncg/internal/curve"
 	"dyncg/internal/geom"
@@ -29,6 +30,10 @@ func HullStatic(m *machine.M, pts []geom.Point[ratfun.F64]) ([]int, error) {
 	}
 	if n == 1 {
 		return []int{pts[0].ID}, nil
+	}
+	if m.Observed() {
+		m.SpanBegin("hull-static", "n", strconv.Itoa(n))
+		defer m.SpanEnd()
 	}
 	// Dedupe coincident points (they would give identical dual lines and
 	// the envelope would keep one, but the CCW stitch below wants a clean
@@ -242,6 +247,10 @@ func HullSteady(m *machine.M, pts []geom.Point[ratfun.RatFun]) ([]int, error) {
 	}
 	if len(pts) == 1 {
 		return []int{pts[0].ID}, nil
+	}
+	if m.Observed() {
+		m.SpanBegin("hull-steady", "n", strconv.Itoa(len(pts)))
+		defer m.SpanEnd()
 	}
 	T := initialProbeTime(pts)
 	for round := 0; round < 60 && T < 1e12; round++ {

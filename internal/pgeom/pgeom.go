@@ -12,6 +12,8 @@
 package pgeom
 
 import (
+	"strconv"
+
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
 	"dyncg/internal/ratfun"
@@ -52,6 +54,11 @@ func DirEq[T ratfun.Real[T]](a, b geom.Point[T]) bool {
 // Θ(log n) on the hypercube. Instantiated at RatFun it is the
 // steady-state nearest neighbour; at F64 the static one.
 func NearestNeighbor[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T], origin int, farthest bool) int {
+	if m.Observed() {
+		m.SpanBegin("nearest-neighbor",
+			"n", strconv.Itoa(len(pts)), "origin", strconv.Itoa(origin))
+		defer m.SpanEnd()
+	}
 	n := m.Size()
 	seg := machine.WholeMachine(n)
 	// Broadcast the query point.

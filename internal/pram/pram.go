@@ -15,6 +15,7 @@ package pram
 
 import (
 	"math/bits"
+	"strconv"
 
 	"dyncg/internal/curve"
 	"dyncg/internal/machine"
@@ -34,6 +35,10 @@ const StepsPerLevel = 3
 // emulations per level — the §6 simulation cost. It returns the envelope
 // and the number of PRAM steps charged.
 func Envelope(m *machine.M, cs []curve.Curve, kind pieces.Kind) (pieces.Piecewise, int) {
+	if m.Observed() {
+		m.SpanBegin("pram-envelope", "funcs", strconv.Itoa(len(cs)))
+		defer m.SpanEnd()
+	}
 	env := pieces.EnvelopeOfCurves(cs, kind)
 	levels := bits.Len(uint(len(cs)))
 	steps := 0
@@ -51,6 +56,10 @@ func Envelope(m *machine.M, cs []curve.Curve, kind pieces.Kind) (pieces.Piecewis
 // sort cost is data-independent), the standard emulation the paper cites
 // (Θ(√n) mesh, Θ(log² n) hypercube).
 func chargeConcurrentAccess(m *machine.M) {
+	if m.Observed() {
+		m.SpanBegin("pram-step")
+		defer m.SpanEnd()
+	}
 	n := m.Size()
 	regs := make([]machine.Reg[int], n)
 	for i := range regs {

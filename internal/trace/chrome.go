@@ -1,0 +1,102 @@
+package trace
+
+// Chrome trace-event export: the span tree rendered as a
+// chrome://tracing- (and Perfetto-) loadable JSON timeline over
+// *simulated* time. One simulated step is emitted as one microsecond, so
+// the trace viewer's time axis reads directly in the paper's cost units.
+
+import (
+	"encoding/json"
+	"io"
+
+	"dyncg/internal/machine"
+)
+
+// ChromeEvent is one entry of the trace-event JSON array. Only the
+// subset of the format the exporter emits is modelled; the struct is
+// exported so tests (and external tooling) can round-trip the output.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`  // "X" complete, "M" metadata
+	Ts   int64          `json:"ts"`  // simulated time, as µs
+	Dur  int64          `json:"dur"` // simulated duration, as µs
+	Pid  int            `json:"pid"` // one process per trace
+	Tid  int            `json:"tid"` // one thread per PE-group (machine)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeEvents flattens a finished span tree into trace events. The
+// machine m supplies process/thread naming (topology and PE count); tid
+// selects the thread lane, letting callers lay several machines'
+// timelines side by side in one trace.
+func ChromeEvents(root *Span, m *machine.M, tid int) []ChromeEvent {
+	events := []ChromeEvent{
+		{
+			Name: "process_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": "simulated SIMD machine"},
+		},
+		{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": m.Topology().Name()},
+		},
+	}
+	root.Walk(func(s *Span, depth int) {
+		d := s.Delta()
+		args := map[string]any{
+			"comm":   d.CommSteps,
+			"local":  d.LocalSteps,
+			"rounds": d.Rounds,
+			"msgs":   d.Messages,
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		if len(s.Rounds) > 0 {
+			args["recorded_rounds"] = len(s.Rounds)
+		}
+		events = append(events, ChromeEvent{
+			Name: s.Name,
+			Cat:  category(depth),
+			Ph:   "X",
+			Ts:   s.Begin.Time(),
+			Dur:  d.Time(),
+			Pid:  0,
+			Tid:  tid,
+		})
+		events[len(events)-1].Args = args
+	})
+	return events
+}
+
+func category(depth int) string {
+	if depth == 0 {
+		return "algorithm"
+	}
+	return "primitive"
+}
+
+// WriteChrome writes the span tree as a complete Chrome trace-event JSON
+// document to w.
+func WriteChrome(w io.Writer, root *Span, m *machine.M) error {
+	return WriteChromeMulti(w, []*Span{root}, []*machine.M{m})
+}
+
+// WriteChromeMulti writes several machines' span trees into one trace,
+// one thread lane per machine — e.g. the mesh and hypercube runs of the
+// same algorithm side by side.
+func WriteChromeMulti(w io.Writer, roots []*Span, ms []*machine.M) error {
+	var all []ChromeEvent
+	for i, root := range roots {
+		all = append(all, ChromeEvents(root, ms[i], i+1)...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ChromeTrace{TraceEvents: all, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,98 @@
+package trace
+
+// Plain-text cost-breakdown tree: the span tree with, per span, its
+// total simulated time, its share of the root's total, and its self time
+// (cost charged in the span but in none of its children). This is the
+// report every perf PR quotes: the root's total equals
+// machine.Stats.Time() exactly (same counters, same deltas), so "where
+// did the Θ-bound's constant go" decomposes without residue.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// WriteCostTree renders the finished span tree to w. maxDepth limits the
+// rendered depth (0 = unlimited); sibling spans with equal name and
+// attributes are coalesced into one line with a ×count marker, keeping
+// deep traces (a sort emits one merge span per level) readable.
+func WriteCostTree(w io.Writer, root *Span, maxDepth int) {
+	total := root.Delta().Time()
+	fmt.Fprintf(w, "cost tree (simulated time; root total = %d)\n", total)
+	writeNode(w, root, "", "", total, maxDepth, 1, 0)
+}
+
+func writeNode(w io.Writer, s *Span, selfPrefix, childPrefix string, total int64, maxDepth, count, depth int) {
+	d := s.Delta()
+	pct := 100.0
+	if total > 0 {
+		pct = 100 * float64(count) * float64(d.Time()) / float64(total)
+	}
+	label := s.Name
+	if attrs := attrString(s); attrs != "" {
+		label += "[" + attrs + "]"
+	}
+	if count > 1 {
+		label += fmt.Sprintf(" ×%d", count)
+	}
+	self := s.Self()
+	// The box-drawing prefix is multi-byte UTF-8: pad by rune count so
+	// the numeric columns line up across depths.
+	fmt.Fprintf(w, "%s%-*s %8d %6.1f%%  self=%-6d comm=%-6d local=%-6d rounds=%-5d msgs=%d\n",
+		selfPrefix, 44-utf8.RuneCountInString(selfPrefix), label,
+		int64(count)*d.Time(), pct,
+		int64(count)*self.Time(), int64(count)*d.CommSteps, int64(count)*d.LocalSteps,
+		int64(count)*d.Rounds, int64(count)*d.Messages)
+	if maxDepth > 0 && depth+1 >= maxDepth {
+		return
+	}
+	groups := coalesce(s.Children)
+	for i, g := range groups {
+		last := i == len(groups)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		writeNode(w, g.span, childPrefix+branch, childPrefix+cont, total, maxDepth, g.count, depth+1)
+	}
+}
+
+type spanGroup struct {
+	span  *Span
+	count int
+}
+
+// coalesce groups consecutive siblings that have the same name,
+// attributes, and per-span cost, so repeated identical phases (the ≤
+// maxEmit route rounds of a merge level, say) print once with a count.
+func coalesce(children []*Span) []spanGroup {
+	var out []spanGroup
+	for _, c := range children {
+		if n := len(out); n > 0 && sameShape(out[n-1].span, c) {
+			out[n-1].count++
+			continue
+		}
+		out = append(out, spanGroup{span: c, count: 1})
+	}
+	return out
+}
+
+func sameShape(a, b *Span) bool {
+	if a.Name != b.Name || len(a.Children) != 0 || len(b.Children) != 0 {
+		return false
+	}
+	if attrString(a) != attrString(b) {
+		return false
+	}
+	return a.Delta() == b.Delta()
+}
+
+func attrString(s *Span) string {
+	var parts []string
+	for _, a := range s.Attrs {
+		parts = append(parts, a.Key+"="+a.Val)
+	}
+	return strings.Join(parts, " ")
+}

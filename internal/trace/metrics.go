@@ -1,0 +1,124 @@
+package trace
+
+// Aggregate metrics: per-primitive counters and simulated-time
+// histograms, collected from a finished span tree. Where the cost tree
+// answers "where did this run's time go", the metrics snapshot answers
+// "what does a sort cost here, and how is that cost distributed" —
+// comparable across runs and PRs.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dyncg/internal/machine"
+)
+
+// histBuckets is the number of power-of-two simulated-time buckets:
+// bucket i counts spans with Time() in [2^(i−1), 2^i), bucket 0 counts
+// zero-cost spans. 2^31 simulated steps is beyond any simulation here.
+const histBuckets = 32
+
+// Hist is a power-of-two histogram of simulated span times.
+type Hist struct {
+	Counts [histBuckets]int64
+}
+
+// Observe records one simulated-time sample.
+func (h *Hist) Observe(t int64) {
+	b := 0
+	for t > 0 && b < histBuckets-1 {
+		t >>= 1
+		b++
+	}
+	h.Counts[b]++
+}
+
+// String renders the non-empty buckets compactly, e.g. "[8,16):12".
+func (h *Hist) String() string {
+	out := ""
+	for b, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		if b == 0 {
+			out += fmt.Sprintf("0:%d", c)
+		} else {
+			out += fmt.Sprintf("[%d,%d):%d", 1<<(b-1), 1<<b, c)
+		}
+	}
+	return out
+}
+
+// PrimMetrics aggregates every span with a given name.
+type PrimMetrics struct {
+	Name  string
+	Calls int64
+	Total machine.Stats // sum of the spans' Self() costs
+	Times Hist          // histogram of per-span total (Delta) times
+}
+
+// Metrics is an aggregate snapshot over a span tree.
+type Metrics struct {
+	ByName map[string]*PrimMetrics
+	Root   machine.Stats // the root span's delta (total run cost)
+}
+
+// Collect walks a finished span tree and aggregates per-name metrics.
+// Each span contributes its Self() cost to its own name's Total, so the
+// Totals sum to the root's delta without double counting (nested
+// primitives — a sort's merge levels, say — attribute only their own
+// share), while the histogram records full per-call Delta times.
+func Collect(root *Span) *Metrics {
+	ms := &Metrics{ByName: map[string]*PrimMetrics{}, Root: root.Delta()}
+	root.Walk(func(s *Span, depth int) {
+		pm := ms.ByName[s.Name]
+		if pm == nil {
+			pm = &PrimMetrics{Name: s.Name}
+			ms.ByName[s.Name] = pm
+		}
+		pm.Calls++
+		pm.Total = pm.Total.Add(s.Self())
+		pm.Times.Observe(s.Delta().Time())
+	})
+	return ms
+}
+
+// Write renders the snapshot as a table sorted by descending self time.
+func (ms *Metrics) Write(w io.Writer) {
+	names := make([]string, 0, len(ms.ByName))
+	for n := range ms.ByName {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := ms.ByName[names[i]], ms.ByName[names[j]]
+		if a.Total.Time() != b.Total.Time() {
+			return a.Total.Time() > b.Total.Time()
+		}
+		return a.Name < b.Name
+	})
+	nameW := len("primitive")
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	total := ms.Root.Time()
+	fmt.Fprintf(w, "%-*s %6s %10s %7s %10s %10s %8s  %s\n",
+		nameW, "primitive", "calls", "selftime", "%", "comm", "msgs", "rounds", "time histogram")
+	for _, n := range names {
+		pm := ms.ByName[n]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(pm.Total.Time()) / float64(total)
+		}
+		fmt.Fprintf(w, "%-*s %6d %10d %6.1f%% %10d %10d %8d  %s\n",
+			nameW, pm.Name, pm.Calls, pm.Total.Time(), pct,
+			pm.Total.CommSteps, pm.Total.Messages, pm.Total.Rounds, pm.Times.String())
+	}
+	fmt.Fprintf(w, "%-*s %6s %10d %6.1f%% %10d %10d %8d\n",
+		nameW, "total", "", total, 100.0, ms.Root.CommSteps, ms.Root.Messages, ms.Root.Rounds)
+}

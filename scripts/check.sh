@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repository health check: formatting, vet, build, and the full test
+# suite under the race detector. CI runs exactly this script; run it
+# locally before sending a PR.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "OK"
