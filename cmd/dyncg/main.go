@@ -39,7 +39,16 @@ var (
 	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file for the run")
 	costTree  = flag.Bool("costtree", false, "print the per-span cost-attribution tree after the run")
 	costDepth = flag.Int("costdepth", 0, "cost tree depth limit (0 = unlimited)")
+	parallel  = flag.Int("parallel", 0, "worker-pool size for per-PE loops (0 = serial, -1 = GOMAXPROCS); results are identical either way")
 )
+
+// machineOpts translates -parallel into machine options.
+func machineOpts() []machine.Option {
+	if *parallel == 0 {
+		return nil
+	}
+	return []machine.Option{machine.WithParallel(*parallel)}
+}
 
 func main() {
 	flag.Parse()
@@ -71,15 +80,15 @@ func main() {
 	}
 	mkFor := func(s int) *machine.M {
 		if *topo == "mesh" {
-			return attach(core.MeshFor(sys.N(), s))
+			return attach(core.MeshFor(sys.N(), s, machineOpts()...))
 		}
-		return attach(core.CubeFor(sys.N(), s))
+		return attach(core.CubeFor(sys.N(), s, machineOpts()...))
 	}
 	mkOf := func(sz int) *machine.M {
 		if *topo == "mesh" {
-			return attach(core.MeshOf(sz))
+			return attach(core.MeshOf(sz, machineOpts()...))
 		}
-		return attach(core.CubeOf(sz))
+		return attach(core.CubeOf(sz, machineOpts()...))
 	}
 
 	var m *machine.M

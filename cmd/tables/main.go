@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dyncg/internal/core"
 	"dyncg/internal/curve"
@@ -45,7 +46,12 @@ var (
 	seed       = flag.Int64("seed", 1988, "workload RNG seed")
 	jsonOut    = flag.Bool("json", false, "write BENCH_tables.json (one record per table cell, with claimed-bound ratios)")
 	traceDir   = flag.String("trace-dir", "", "write a Chrome trace per table row (at the largest n) into this directory")
+	parallel   = flag.Int("parallel", 0, "re-run every table cell with a worker pool of this size and record the serial-vs-parallel wall-clock speedup; simulated times must match exactly (0 = off)")
 )
+
+// parOpts is applied by the machine constructors below; printTable sets it
+// for the parallel timing pass and clears it for the canonical serial pass.
+var parOpts []machine.Option
 
 func main() {
 	flag.Parse()
@@ -104,6 +110,13 @@ type benchRecord struct {
 	Claim    string  `json:"claim"`
 	Bound    float64 `json:"bound"`
 	Ratio    float64 `json:"ratio"`
+
+	// Populated when -parallel is set: host wall-clock of the serial and
+	// worker-pool passes of the same cell (identical simulated work).
+	Workers      int     `json:"workers,omitempty"`
+	WallSerialNs int64   `json:"wall_serial_ns,omitempty"`
+	WallParNs    int64   `json:"wall_parallel_ns,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
 }
 
 var benchRecords []benchRecord
@@ -209,7 +222,9 @@ func printTable(table string, sizes []int, rows []row) {
 				if wantTrace {
 					armLabel = fmt.Sprintf("%s/%s/%s", table, rw.id, topo)
 				}
+				start := time.Now()
 				t, err := rw.run(n, topo)
+				wallSerial := time.Since(start)
 				if wantTrace {
 					finishTrace(table, rw.id, topo)
 				}
@@ -217,14 +232,43 @@ func printTable(table string, sizes []int, rows []row) {
 					fmt.Printf(" %12s", "err")
 					continue
 				}
+				rec := benchRecord{
+					Table: table, ID: rw.id, Problem: rw.name,
+					Topology: topo, N: n, SimTime: t,
+					Claim: rw.claim,
+				}
+				if *parallel > 0 {
+					// Timed re-run on the worker pool. Workloads are
+					// pre-generated per cell, so the re-run sees identical
+					// inputs; the simulated time must reproduce exactly.
+					parOpts = []machine.Option{machine.WithParallel(*parallel)}
+					ps := time.Now()
+					t2, err2 := rw.run(n, topo)
+					wallPar := time.Since(ps)
+					parOpts = nil
+					if err2 != nil {
+						fmt.Fprintf(os.Stderr, "tables: %s/%s/%s n=%d parallel re-run failed: %v\n",
+							table, rw.id, topo, n, err2)
+						os.Exit(1)
+					}
+					if t2 != t {
+						fmt.Fprintf(os.Stderr, "tables: %s/%s/%s n=%d parallel sim time %d != serial %d\n",
+							table, rw.id, topo, n, t2, t)
+						os.Exit(1)
+					}
+					rec.Workers = *parallel
+					rec.WallSerialNs = wallSerial.Nanoseconds()
+					rec.WallParNs = wallPar.Nanoseconds()
+					if wallPar > 0 {
+						rec.Speedup = wallSerial.Seconds() / wallPar.Seconds()
+					}
+				}
 				fmt.Printf(" %12d", t)
 				if *jsonOut {
 					b := rw.bound(n, topo)
-					benchRecords = append(benchRecords, benchRecord{
-						Table: table, ID: rw.id, Problem: rw.name,
-						Topology: topo, N: n, SimTime: t,
-						Claim: rw.claim, Bound: b, Ratio: float64(t) / b,
-					})
+					rec.Bound = b
+					rec.Ratio = float64(t) / b
+					benchRecords = append(benchRecords, rec)
 				}
 			}
 			fmt.Printf("  %s\n", rw.claim)
@@ -233,10 +277,10 @@ func printTable(table string, sizes []int, rows []row) {
 }
 
 func meshM(n int) *machine.M {
-	return machine.New(mesh.MustNew(dsseq.NextPow4(n), mesh.Proximity))
+	return machine.New(mesh.MustNew(dsseq.NextPow4(n), mesh.Proximity), parOpts...)
 }
 func cubeM(n int) *machine.M {
-	return machine.New(hypercube.MustNew(dsseq.NextPow2(n)))
+	return machine.New(hypercube.MustNew(dsseq.NextPow2(n)), parOpts...)
 }
 func machineOf(n int, topo string) *machine.M {
 	if topo == "mesh" {
@@ -246,9 +290,9 @@ func machineOf(n int, topo string) *machine.M {
 }
 func machineFor(n, s int, topo string) *machine.M {
 	if topo == "mesh" {
-		return maybeTrace(core.MeshFor(n, s))
+		return maybeTrace(core.MeshFor(n, s, parOpts...))
 	}
-	return maybeTrace(core.CubeFor(n, s))
+	return maybeTrace(core.CubeFor(n, s, parOpts...))
 }
 
 // ---------------------------------------------------------------- figures
@@ -303,13 +347,19 @@ func table1() {
 	header("Table 1: data movement operations (measured simulated time)")
 	r := rand.New(rand.NewSource(*seed))
 	sizes := []int{64, 256, 1024, 4096}
-	mkVals := func(n int) []int {
+	// Pre-generate one workload per machine size (machineOf yields exactly
+	// n PEs for these power-of-4 sizes on both topologies), so a cell can
+	// be re-run — serial then parallel — without perturbing the shared RNG
+	// stream. Scatter copies the values, so reuse across rows is safe.
+	valsOf := map[int][]int{}
+	for _, n := range sizes {
 		vals := make([]int, n)
 		for i := range vals {
 			vals[i] = r.Intn(1 << 20)
 		}
-		return vals
+		valsOf[n] = vals
 	}
+	mkVals := func(n int) []int { return valsOf[n] }
 	rows := []row{
 		{"semigroup", "semigroup", "Θ(√n) / Θ(log n)", bnd(sqrtN, logN), func(n int, topo string) (int64, error) {
 			m := machineOf(n, topo)

@@ -1,0 +1,102 @@
+// Package costmemo memoises the per-topology round-cost tables of the
+// machine simulator: the worst partner distance of a bit-b XOR round
+// (bitonic merge/sort) and of a ±off shift round (prefix, broadcast,
+// semigroup). The underlying distances are fixed by the topology — mesh
+// Hilbert hop distances, hypercube Hamming distances, CCC/shuffle BFS
+// distances — so the tables depend only on the (immutable) topology, not
+// on any machine instance.
+//
+// Before this package every machine.M recomputed the tables in private
+// maps, an O(n)-per-pattern scan repeated for every M. The simulator's
+// concurrency contract confines an M to one goroutine but explicitly
+// allows wrapping one shared Topology in one M per goroutine; Table makes
+// that cheap: the XOR table is built once behind a sync.Once (all
+// ⌈log₂ n⌉ bits in one pass) and shift offsets are filled lazily under an
+// RWMutex, so concurrent machines share one set of tables with a
+// read-lock fast path.
+package costmemo
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Dister is the slice of machine.Topology the tables need: a PE count and
+// pairwise link distances. (Declared locally so topology packages do not
+// import internal/machine.)
+type Dister interface {
+	Size() int
+	Distance(i, j int) int
+}
+
+// Table memoises round costs for one topology. The zero value is not
+// usable; construct with New. Safe for concurrent use.
+type Table struct {
+	d Dister
+
+	xorOnce sync.Once
+	xor     []int // bit b → max over i of Distance(i, i ⊕ 2^b)
+
+	mu    sync.RWMutex
+	shift map[int]int // |off| → max over i of Distance(i, i+off)
+}
+
+// New returns an empty table over d. Nothing is computed until first use.
+func New(d Dister) *Table {
+	return &Table{d: d, shift: map[int]int{}}
+}
+
+// XorRoundCost returns the worst partner distance of a bit-b XOR round:
+// max over i of Distance(i, i ⊕ 2^b), pairs off the machine excluded. The
+// full table (every bit of the PE index) is computed on first call.
+func (t *Table) XorRoundCost(b int) int {
+	t.xorOnce.Do(func() {
+		n := t.d.Size()
+		t.xor = make([]int, bits.Len(uint(n-1)))
+		for bb := range t.xor {
+			off := 1 << bb
+			max := 0
+			for i := 0; i < n; i++ {
+				j := i ^ off
+				if j < i || j >= n {
+					continue
+				}
+				if d := t.d.Distance(i, j); d > max {
+					max = d
+				}
+			}
+			t.xor[bb] = max
+		}
+	})
+	if b < 0 || b >= len(t.xor) {
+		return 0
+	}
+	return t.xor[b]
+}
+
+// ShiftRoundCost returns the worst partner distance of a round in which
+// PE i sends to PE i+off: max over valid i of Distance(i, i+off).
+// Distinct offsets are memoised lazily (algorithms use O(log n) distinct
+// offsets, so precomputing all n would be waste).
+func (t *Table) ShiftRoundCost(off int) int {
+	if off < 0 {
+		off = -off
+	}
+	t.mu.RLock()
+	c, ok := t.shift[off]
+	t.mu.RUnlock()
+	if ok {
+		return c
+	}
+	n := t.d.Size()
+	max := 0
+	for i := 0; i+off < n; i++ {
+		if d := t.d.Distance(i, i+off); d > max {
+			max = d
+		}
+	}
+	t.mu.Lock()
+	t.shift[off] = max
+	t.mu.Unlock()
+	return max
+}

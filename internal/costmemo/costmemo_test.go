@@ -1,0 +1,94 @@
+package costmemo
+
+import (
+	"sync"
+	"testing"
+)
+
+// ring is a cycle of n PEs: Distance(i, j) = min(|i−j|, n−|i−j|).
+type ring struct{ n int }
+
+func (r ring) Size() int { return r.n }
+func (r ring) Distance(i, j int) int {
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if r.n-d < d {
+		d = r.n - d
+	}
+	return d
+}
+
+func naiveXor(d Dister, b int) int {
+	n, off, max := d.Size(), 1<<b, 0
+	for i := 0; i < n; i++ {
+		j := i ^ off
+		if j < i || j >= n {
+			continue
+		}
+		if dd := d.Distance(i, j); dd > max {
+			max = dd
+		}
+	}
+	return max
+}
+
+func naiveShift(d Dister, off int) int {
+	n, max := d.Size(), 0
+	for i := 0; i+off < n; i++ {
+		if dd := d.Distance(i, i+off); dd > max {
+			max = dd
+		}
+	}
+	return max
+}
+
+func TestTableMatchesNaive(t *testing.T) {
+	r := ring{n: 64}
+	tab := New(r)
+	for b := 0; b < 6; b++ {
+		if got, want := tab.XorRoundCost(b), naiveXor(r, b); got != want {
+			t.Fatalf("xor bit %d: %d want %d", b, got, want)
+		}
+	}
+	for _, off := range []int{1, 2, 3, 5, 16, 63, -7} {
+		want := off
+		if want < 0 {
+			want = -want
+		}
+		if got := tab.ShiftRoundCost(off); got != naiveShift(r, want) {
+			t.Fatalf("shift %d: %d want %d", off, got, naiveShift(r, want))
+		}
+	}
+	// Out-of-range bits are harmless.
+	if tab.XorRoundCost(40) != 0 || tab.XorRoundCost(-1) != 0 {
+		t.Fatal("out-of-range bit should cost 0")
+	}
+}
+
+// TestTableConcurrent exercises the sync.Once / RWMutex paths under the
+// race detector: many goroutines share one table, as per-goroutine
+// machines sharing one Topology do.
+func TestTableConcurrent(t *testing.T) {
+	r := ring{n: 256}
+	tab := New(r)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < 8; b++ {
+				if tab.XorRoundCost(b) != naiveXor(r, b) {
+					t.Errorf("concurrent xor mismatch at bit %d", b)
+				}
+			}
+			for off := 1; off < 32; off++ {
+				if tab.ShiftRoundCost(off) != naiveShift(r, off) {
+					t.Errorf("concurrent shift mismatch at %d", off)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

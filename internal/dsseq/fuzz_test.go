@@ -1,0 +1,78 @@
+package dsseq_test
+
+import (
+	"testing"
+
+	"dyncg/internal/dsseq"
+)
+
+// FuzzDSValidity fuzzes the Davenport–Schinzel machinery of Theorem 2.3
+// from three directions:
+//
+//  1. the extremal generators always pass the validity checker (and the
+//     (n,2) generator achieves its exact alternation bound);
+//  2. IsDSSequence agrees with the independent reference predicate
+//     "adjacent-distinct ∧ in-range ∧ MaxAlternation ≤ s+1" on arbitrary
+//     sequences;
+//  3. deterministic mutations of a valid sequence — duplicating a symbol
+//     in place, or writing an out-of-range symbol — are always rejected.
+func FuzzDSValidity(f *testing.F) {
+	f.Add(5, 2, []byte{0, 1, 2, 3, 4, 3, 2, 1, 0})
+	f.Add(3, 1, []byte{0, 1, 2})
+	f.Add(2, 3, []byte{0, 1, 0, 1, 0})
+	f.Add(7, 2, []byte("abcabc"))
+	f.Fuzz(func(t *testing.T, n, s int, data []byte) {
+		if n < 2 || n > 24 || s < 1 || s > 4 {
+			t.Skip()
+		}
+		if len(data) > 256 {
+			data = data[:256]
+		}
+
+		// (1) Generators pass their own checker.
+		if got := dsseq.ExtremalS1(n); !dsseq.IsDSSequence(got, n, 1) {
+			t.Errorf("ExtremalS1(%d) rejected by IsDSSequence", n)
+		}
+		s2 := dsseq.ExtremalS2(n)
+		if !dsseq.IsDSSequence(s2, n, 2) {
+			t.Errorf("ExtremalS2(%d) rejected by IsDSSequence", n)
+		}
+		if got := dsseq.MaxAlternation(s2, n); got != 3 {
+			t.Errorf("MaxAlternation(ExtremalS2(%d)) = %d, want 3", n, got)
+		}
+		if len(s2) != 2*n-1 {
+			t.Errorf("len(ExtremalS2(%d)) = %d, want λ(n,2) = %d", n, len(s2), 2*n-1)
+		}
+
+		// (2) Checker agrees with the reference predicate on fuzz input.
+		seq := make([]int, len(data))
+		for i, b := range data {
+			seq[i] = int(b) % n
+		}
+		wellFormed := true
+		for i, a := range seq {
+			if i > 0 && seq[i-1] == a {
+				wellFormed = false
+			}
+		}
+		want := wellFormed && dsseq.MaxAlternation(seq, n) <= s+1
+		if got := dsseq.IsDSSequence(seq, n, s); got != want {
+			t.Errorf("IsDSSequence(%v, n=%d, s=%d) = %v, reference predicate says %v",
+				seq, n, s, got, want)
+		}
+
+		// (3) Mutations of a valid sequence are always rejected.
+		if len(seq) > 0 && dsseq.IsDSSequence(seq, n, s) {
+			mid := len(seq) / 2
+			dup := append(append([]int{}, seq[:mid+1]...), seq[mid:]...)
+			if dsseq.IsDSSequence(dup, n, s) {
+				t.Errorf("adjacent duplicate at %d accepted: %v", mid, dup)
+			}
+			oor := append([]int{}, seq...)
+			oor[mid] = n
+			if dsseq.IsDSSequence(oor, n, s) {
+				t.Errorf("out-of-range symbol accepted: %v", oor)
+			}
+		}
+	})
+}

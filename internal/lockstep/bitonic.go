@@ -1,0 +1,104 @@
+package lockstep
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dyncg/internal/hypercube"
+)
+
+// This file extends the goroutine runtime from linear-array and mesh
+// programs to the hypercube of §2.3: PEs carry the paper's labels, reside
+// at the nodes given by the binary reflected Gray code, and may only talk
+// along genuine hypercube edges (node numbers differing in exactly one
+// bit). The program run on it is Batcher's bitonic sort in its classic
+// single-bit form, where every compare-exchange partner i⊕2^b is one hop
+// away — unlike internal/machine's vectorised MergeBlocks, whose mirror
+// masks (block−1) span several dimensions per round and rely on the cost
+// model to charge the multi-hop distance. The two implementations perform
+// the same q(q+1)/2 compare-exchange rounds, which the tests cross-check
+// against the simulator's Stats.
+
+// NewHypercubeGray returns a runtime of 2^dim PEs where PE i carries the
+// paper's label i and resides at node hypercube.Gray(i); legal links are
+// the hypercube's edges, i.e. pairs of PEs whose *node numbers* differ in
+// exactly one bit. Consecutive labels remain adjacent (the Gray-code
+// property §2.3 exploits), so every linear-array program also runs
+// unchanged on this runtime.
+func NewHypercubeGray(dim int, mem func(id int) any) *Runtime {
+	r := New(1<<dim, mem)
+	r.adjacent = func(a, b int) bool {
+		return bits.OnesCount(uint(hypercube.Gray(a)^hypercube.Gray(b))) == 1
+	}
+	return r
+}
+
+// BitonicSortHypercube sorts 2^dim values on a lock-step hypercube of
+// goroutine PEs and returns the sorted sequence together with the number
+// of compare-exchange rounds performed (q(q+1)/2 for q = dim).
+//
+// Bitonic position p lives at node p, i.e. on the PE labelled
+// GrayInverse(p); the stage-(k, 2^b) partner of position p is p⊕2^b,
+// whose node differs in exactly bit b — a single hypercube hop, so every
+// message the program sends is validated against real edges by the
+// runtime. Each compare-exchange round costs two supersteps: one to
+// exchange values, one to resolve min/max locally.
+func BitonicSortHypercube(dim int, vals []int) ([]int, int, error) {
+	n := 1 << dim
+	if len(vals) != n {
+		return nil, 0, fmt.Errorf("lockstep: %d values for a 2^%d hypercube", len(vals), dim)
+	}
+	type mem struct{ v int }
+	// PE labelled id holds bitonic position Gray(id) = its node number.
+	r := NewHypercubeGray(dim, func(id int) any {
+		return &mem{v: vals[hypercube.Gray(id)]}
+	})
+
+	rounds := 0
+	for k := 2; k <= n; k <<= 1 {
+		for jstep := k >> 1; jstep > 0; jstep >>= 1 {
+			k, jstep := k, jstep
+			send := func(pe *PE) map[int]Msg {
+				p := hypercube.Gray(pe.ID)
+				partner := hypercube.GrayInverse(p ^ jstep)
+				return map[int]Msg{partner: pe.Mem.(*mem).v}
+			}
+			resolve := func(pe *PE) map[int]Msg {
+				m := pe.Mem.(*mem)
+				p := hypercube.Gray(pe.ID)
+				for _, raw := range pe.Recv {
+					v := raw.(int)
+					// Ascending block iff the k bit of the position is
+					// clear; the low side of the pair keeps the minimum in
+					// an ascending block and the maximum in a descending
+					// one.
+					up := p&k == 0
+					lowSide := p&jstep == 0
+					if lowSide == up {
+						if v < m.v {
+							m.v = v
+						}
+					} else {
+						if v > m.v {
+							m.v = v
+						}
+					}
+				}
+				return nil
+			}
+			if err := r.Run(1, send); err != nil {
+				return nil, 0, err
+			}
+			if err := r.Run(1, resolve); err != nil {
+				return nil, 0, err
+			}
+			rounds++
+		}
+	}
+
+	out := make([]int, n)
+	for p := range out {
+		out[p] = r.PEState(hypercube.GrayInverse(p)).(*mem).v
+	}
+	return out, rounds, nil
+}

@@ -28,6 +28,7 @@ package machine
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 )
 
 // Topology is the communication structure of a machine: the mesh
@@ -39,6 +40,20 @@ type Topology interface {
 	Distance(i, j int) int
 	// Diameter is the communication diameter.
 	Diameter() int
+}
+
+// RoundCoster is an optional Topology extension: a topology that memoises
+// its own round-cost tables (internal/costmemo) shares one set of tables
+// across every machine wrapping it, instead of each M rebuilding them
+// with O(n)-per-pattern scans. All four bundled topologies (mesh,
+// hypercube, ccc, shuffle) implement it; plain Topology values fall back
+// to the per-machine scan.
+type RoundCoster interface {
+	// XorRoundCost is max over i of Distance(i, i ⊕ 2^b), off-machine
+	// pairs excluded.
+	XorRoundCost(b int) int
+	// ShiftRoundCost is max over valid i of Distance(i, i+off).
+	ShiftRoundCost(off int) int
 }
 
 // Stats accumulates simulated parallel running time.
@@ -83,29 +98,66 @@ func (s Stats) String() string {
 
 // M is a simulated SIMD machine: a topology plus cost accounting.
 //
-// Concurrency contract: an M is confined to a single goroutine. The cost
-// caches (xorCost, shiftCost) and counters are mutated without
-// synchronization on every charged round, so sharing one M across
-// goroutines — even for "read-only" primitives — is a data race. What IS
-// safe to share is the Topology: mesh.Mesh, hypercube.Cube, ccc.CCC and
-// shuffle.SE are immutable after construction, so concurrent simulations
-// should wrap one shared Topology in one M per goroutine (exercised under
-// -race by TestTopologySharedAcrossMachines).
+// Concurrency contract: an M is *owned* by a single goroutine. The cost
+// counters, the per-M cost caches (xorCost, shiftCost) and the observer
+// stream are mutated without synchronization on every charged round, so
+// sharing one M across goroutines — even for "read-only" primitives — is
+// a data race. Two forms of concurrency are nevertheless supported:
+//
+//   - Across machines: the Topology is immutable after construction
+//     (mesh.Mesh, hypercube.Cube, ccc.CCC, shuffle.SE), including its
+//     memoised costmemo round-cost tables, so concurrent simulations wrap
+//     one shared Topology in one M per goroutine (exercised under -race
+//     by TestTopologySharedAcrossMachines).
+//
+//   - Within a machine: with WithParallel(w), the per-PE compute loop of
+//     a primitive's round fans out over an internal/par worker pool. The
+//     workers touch ONLY disjoint shards of the register files — they
+//     never call chargeXOR/chargeShift/ChargeLocal/ChargeRoute, never
+//     mutate Stats or the cost caches, and never invoke the Observer. All
+//     charging happens on the owning goroutine after the shards join, so
+//     Stats, round order, and the observer span/round stream are
+//     bit-identical to the serial backend (proved by the differential
+//     tests in the repository root).
 type M struct {
-	topo Topology
-	n    int
-	st   Stats
-	obs  Observer // nil unless tracing is attached (see observe.go)
+	topo    Topology
+	n       int
+	st      Stats
+	workers int      // worker pool size for per-PE loops; ≤ 1 means serial
+	obs     Observer // nil unless tracing is attached (see observe.go)
 
 	xorCost   map[int]int // bit → worst partner distance for i ⊕ 2^b
 	shiftCost map[int]int // offset → worst partner distance for i → i+off
 }
 
-// New wraps a topology in a machine with fresh counters.
-func New(t Topology) *M {
-	return &M{topo: t, n: t.Size(),
-		xorCost: map[int]int{}, shiftCost: map[int]int{}}
+// Option configures a machine at construction time.
+type Option func(*M)
+
+// WithParallel enables the sharded worker-pool execution backend: per-PE
+// compute loops run on up to `workers` goroutines (GOMAXPROCS when
+// workers ≤ 0). Simulated costs, outputs, and trace streams are identical
+// to the serial backend; only host wall-clock time changes.
+func WithParallel(workers int) Option {
+	return func(m *M) {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		m.workers = workers
+	}
 }
+
+// New wraps a topology in a machine with fresh counters.
+func New(t Topology, opts ...Option) *M {
+	m := &M{topo: t, n: t.Size(), workers: 1,
+		xorCost: map[int]int{}, shiftCost: map[int]int{}}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Workers returns the worker-pool size per-PE loops may use (1 = serial).
+func (m *M) Workers() int { return m.workers }
 
 // Size returns the number of PEs.
 func (m *M) Size() int { return m.n }
@@ -127,8 +179,12 @@ func (m *M) Stats() Stats { return m.st }
 func (m *M) Reset() { m.st = Stats{} }
 
 // xorRoundCost returns (and caches) the worst partner distance of a
-// bit-b XOR round.
+// bit-b XOR round. Topologies that memoise their own tables (RoundCoster)
+// are consulted directly; others fall back to a per-machine scan.
 func (m *M) xorRoundCost(b int) int {
+	if rc, ok := m.topo.(RoundCoster); ok {
+		return rc.XorRoundCost(b)
+	}
 	if c, ok := m.xorCost[b]; ok {
 		return c
 	}
@@ -152,6 +208,9 @@ func (m *M) xorRoundCost(b int) int {
 func (m *M) shiftRoundCost(off int) int {
 	if off < 0 {
 		off = -off
+	}
+	if rc, ok := m.topo.(RoundCoster); ok {
+		return rc.ShiftRoundCost(off)
 	}
 	if c, ok := m.shiftCost[off]; ok {
 		return c

@@ -128,12 +128,18 @@ func TestNonPowerSizesRejected(t *testing.T) {
 	}
 }
 
+// plainTopo strips the RoundCoster methods off a bundled topology so the
+// machine's per-M fallback cost caches are exercised.
+type plainTopo struct{ Topology }
+
 // TestResetPreservesCostCaches is white-box: Reset clears the counters
 // but keeps the memoised per-round cost caches, so a re-run of the same
 // operation is charged identically (and the caches need not be rebuilt).
+// The topologies are wrapped in plainTopo because the bundled ones now
+// carry their own costmemo tables (RoundCoster), bypassing the per-M maps.
 func TestResetPreservesCostCaches(t *testing.T) {
 	for _, topo := range []Topology{
-		mesh.MustNew(64, mesh.Proximity), hypercube.MustNew(64),
+		plainTopo{mesh.MustNew(64, mesh.Proximity)}, plainTopo{hypercube.MustNew(64)},
 	} {
 		m := New(topo)
 		run := func() Stats {

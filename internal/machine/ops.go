@@ -9,7 +9,11 @@ package machine
 // string simultaneously, as the paper requires ("there are multiple
 // strings in which the operations are to be performed in parallel").
 
-import "strconv"
+import (
+	"strconv"
+
+	"dyncg/internal/par"
+)
 
 // pspan opens a primitive-level span on the attached observer (nil-check
 // fast path: zero work when tracing is off). Callers must invoke the
@@ -104,21 +108,27 @@ func Scan[T any](m *M, regs []Reg[T], segStart []bool, dir ScanDir, op func(a, b
 	for off := 1; off < maxSeg; off <<= 1 {
 		copy(next, regs)
 		copy(nextFl, fl)
-		msgs := 0
-		for i := 0; i < n; i++ {
-			var j int
-			if dir == Forward {
-				j = i - off
-			} else {
-				j = i + off
+		// Per-PE round body: PE i reads only regs/fl (stable within the
+		// round) and writes only next[i]/nextFl[i], so shards are disjoint.
+		off, dir := off, dir
+		msgs := par.Reduce(m.workers, n, 0, func(lo, hi int) int {
+			msgs := 0
+			for i := lo; i < hi; i++ {
+				var j int
+				if dir == Forward {
+					j = i - off
+				} else {
+					j = i + off
+				}
+				if j < 0 || j >= n || fl[i] {
+					continue
+				}
+				msgs++
+				next[i] = combine(regs[j], regs[i], dir, op)
+				nextFl[i] = fl[i] || fl[j]
 			}
-			if j < 0 || j >= n || fl[i] {
-				continue
-			}
-			msgs++
-			next[i] = combine(regs[j], regs[i], dir, op)
-			nextFl[i] = fl[i] || fl[j]
-		}
+			return msgs
+		}, func(a, b int) int { return a + b })
 		regs2 := regs
 		copy(regs2, next)
 		copy(fl, nextFl)
@@ -158,11 +168,13 @@ func Spread[T any](m *M, regs []Reg[T], segStart []bool) {
 	// Prefer the forward (leftward) source where both exist; any PE left
 	// empty by both passes has no occupied register in its segment.
 	m.ChargeLocal(1)
-	for i := range regs {
-		if fwd[i].Ok {
-			regs[i] = fwd[i]
+	par.ForEach(m.workers, len(regs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if fwd[i].Ok {
+				regs[i] = fwd[i]
+			}
 		}
-	}
+	})
 }
 
 // Semigroup applies the associative operation to all items of each
@@ -175,12 +187,14 @@ func Semigroup[T any](m *M, regs []Reg[T], segStart []bool, op func(a, b T) T) {
 	n := len(regs)
 	m.ChargeLocal(1)
 	marked := make([]Reg[T], n)
-	for i := 0; i < n; i++ {
-		lastOfSeg := i+1 >= n || segStart[i+1]
-		if lastOfSeg {
-			marked[i] = regs[i]
+	par.ForEach(m.workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lastOfSeg := i+1 >= n || segStart[i+1]
+			if lastOfSeg {
+				marked[i] = regs[i]
+			}
 		}
-	}
+	})
 	keepR := func(a, b T) T { return b }
 	Scan(m, marked, segStart, Backward, keepR)
 	copy(regs, marked)
@@ -193,17 +207,23 @@ func Semigroup[T any](m *M, regs []Reg[T], segStart []bool, op func(a, b T) T) {
 // the smaller index. Empty registers sort after occupied ones.
 func compareExchange[T any](m *M, regs []Reg[T], mask int, blockOf func(i int) int, less func(a, b T) bool) {
 	n := len(regs)
-	msgs := 0
-	for i := 0; i < n; i++ {
-		j := i ^ mask
-		if j <= i || j >= n || blockOf(i) != blockOf(j) {
-			continue
+	// Each index belongs to exactly one pair (i, i ⊕ mask) and the pair is
+	// handled only from its smaller index, so writes are disjoint across
+	// shards even when a pair straddles a shard boundary.
+	msgs := par.Reduce(m.workers, n, 0, func(lo, hi int) int {
+		msgs := 0
+		for i := lo; i < hi; i++ {
+			j := i ^ mask
+			if j <= i || j >= n || blockOf(i) != blockOf(j) {
+				continue
+			}
+			msgs += 2
+			if regLess(regs[j], regs[i], less) {
+				regs[i], regs[j] = regs[j], regs[i]
+			}
 		}
-		msgs += 2
-		if regLess(regs[j], regs[i], less) {
-			regs[i], regs[j] = regs[j], regs[i]
-		}
-	}
+		return msgs
+	}, func(a, b int) int { return a + b })
 	// Charge by the highest bit of the mask: the partner distance of a
 	// multi-bit mask is bounded by (and realised at) its top bit under
 	// both topologies' locality properties.
@@ -272,21 +292,25 @@ func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
 	// Rank each occupied register within its segment (exclusive count).
 	counts := make([]Reg[int], n)
 	m.ChargeLocal(1)
-	for i := range regs {
-		c := 0
-		if regs[i].Ok {
-			c = 1
+	par.ForEach(m.workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := 0
+			if regs[i].Ok {
+				c = 1
+			}
+			counts[i] = Some(c)
 		}
-		counts[i] = Some(c)
-	}
+	})
 	Scan(m, counts, segStart, Forward, func(a, b int) int { return a + b })
 	segBase := make([]Reg[int], n)
 	m.ChargeLocal(1)
-	for i := range segBase {
-		if segStart[i] {
-			segBase[i] = Some(i)
+	par.ForEach(m.workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if segStart[i] {
+				segBase[i] = Some(i)
+			}
 		}
-	}
+	})
 	Scan(m, segBase, segStart, Forward, func(a, b int) int { return a })
 	var src, dst []int
 	out := make([]Reg[T], n)
@@ -332,15 +356,19 @@ func Route[T any](m *M, regs []Reg[T], dest []int) {
 func ShiftWithin[T any](m *M, regs []Reg[T], block, delta int) []Reg[T] {
 	n := len(regs)
 	out := make([]Reg[T], n)
-	msgs := 0
-	for i := range regs {
-		j := i - delta // the PE whose value lands here
-		if j < 0 || j >= n || j/block != i/block || !regs[j].Ok {
-			continue
+	// PE i writes only out[i]; regs is read-only for the round.
+	msgs := par.Reduce(m.workers, n, 0, func(lo, hi int) int {
+		msgs := 0
+		for i := lo; i < hi; i++ {
+			j := i - delta // the PE whose value lands here
+			if j < 0 || j >= n || j/block != i/block || !regs[j].Ok {
+				continue
+			}
+			out[i] = regs[j]
+			msgs++
 		}
-		out[i] = regs[j]
-		msgs++
-	}
+		return msgs
+	}, func(a, b int) int { return a + b })
 	m.chargeShift(delta, msgs)
 	return out
 }

@@ -1,0 +1,116 @@
+// Package par provides the sharded parallel-execution primitives behind
+// the machine simulator's opt-in worker-pool backend
+// (machine.WithParallel). The paper's data movement operations are
+// data-parallel across PEs — in one lock-step round every PE touches only
+// its own register and (read-only) its partner's — so the host simulation
+// of one round can fan an index range [0, n) out over GOMAXPROCS-bounded
+// workers without changing any result.
+//
+// Determinism contract. ForEach shards [0, n) into contiguous,
+// non-overlapping ranges, one goroutine per shard, and waits for all of
+// them; the caller guarantees fn(lo, hi) writes only to indices in
+// [lo, hi) (reads may range over the whole input as long as no other
+// shard writes it). Reduce additionally collects one partial value per
+// shard and combines them IN ASCENDING SHARD ORDER on the calling
+// goroutine, so even a non-commutative combine sees the exact order a
+// serial left-to-right loop would have produced. Under these rules a
+// parallel execution is bit-identical to the serial one — the property
+// the differential tests in the repository root assert for every
+// topology and worker count.
+package par
+
+import "sync"
+
+// minShard is the smallest index range worth a goroutine. Rounds over
+// fewer elements than this run inline: goroutine dispatch (~µs) would
+// dominate the ~ns-per-element register work of small machines.
+const minShard = 256
+
+// shards returns the number of shards to use for n items on w workers.
+func shards(workers, n int) int {
+	if workers <= 1 || n <= minShard {
+		return 1
+	}
+	s := (n + minShard - 1) / minShard
+	if s > workers {
+		s = workers
+	}
+	return s
+}
+
+// ForEach runs fn over the contiguous shards of [0, n) on up to `workers`
+// goroutines and returns when every shard is done. With workers ≤ 1 (or a
+// range too small to split) it is exactly fn(0, n) on the calling
+// goroutine. fn must confine its writes to [lo, hi).
+func ForEach(workers, n int, fn func(lo, hi int)) {
+	s := shards(workers, n)
+	if s <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(s - 1)
+	for k := 1; k < s; k++ {
+		lo, hi := bounds(k, s, n)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	// Shard 0 runs on the calling goroutine: one fewer goroutine spawn per
+	// round, and the caller keeps doing useful work while it waits.
+	lo, hi := bounds(0, s, n)
+	fn(lo, hi)
+	wg.Wait()
+}
+
+// Reduce runs fn over the contiguous shards of [0, n) in parallel and
+// folds the per-shard partial results with combine in ascending shard
+// order (on the calling goroutine), starting from zero. With one shard it
+// is combine(zero, fn(0, n)).
+func Reduce[T any](workers, n int, zero T, fn func(lo, hi int) T, combine func(acc, part T) T) T {
+	s := shards(workers, n)
+	if s <= 1 {
+		if n <= 0 {
+			return zero
+		}
+		return combine(zero, fn(0, n))
+	}
+	parts := make([]T, s)
+	var wg sync.WaitGroup
+	wg.Add(s - 1)
+	for k := 1; k < s; k++ {
+		k := k
+		lo, hi := bounds(k, s, n)
+		go func() {
+			defer wg.Done()
+			parts[k] = fn(lo, hi)
+		}()
+	}
+	lo, hi := bounds(0, s, n)
+	parts[0] = fn(lo, hi)
+	wg.Wait()
+	acc := zero
+	for _, p := range parts {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// bounds returns the half-open range of shard k of s over [0, n): the
+// ⌈n/s⌉-sized prefix shards followed by the remainder, so every index is
+// covered exactly once and shard order equals index order.
+func bounds(k, s, n int) (lo, hi int) {
+	size := (n + s - 1) / s
+	lo = k * size
+	if lo > n {
+		lo = n
+	}
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

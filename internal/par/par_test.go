@@ -1,0 +1,100 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 7, minShard - 1, minShard, minShard + 1, 4*minShard + 3} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad shard [%d, %d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceOrderedCombine(t *testing.T) {
+	// A deliberately non-commutative combine (list append order) must see
+	// shards in ascending index order regardless of worker count.
+	n := 10 * minShard
+	want := Reduce(1, n, []int(nil), func(lo, hi int) []int {
+		out := []int{}
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}, func(acc, part []int) []int { return append(acc, part...) })
+	for _, workers := range []int{2, 3, 7} {
+		got := Reduce(workers, n, []int(nil), func(lo, hi int) []int {
+			out := []int{}
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out
+		}, func(acc, part []int) []int { return append(acc, part...) })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out of order at %d: %d != %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 3*minShard + 17
+	sum := func(w int) int {
+		return Reduce(w, n, 0, func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		}, func(a, b int) int { return a + b })
+	}
+	want := n * (n - 1) / 2
+	for _, w := range []int{1, 2, 8} {
+		if got := sum(w); got != want {
+			t.Fatalf("workers=%d: sum=%d want %d", w, got, want)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(4, 0, 42, func(lo, hi int) int { t.Fatal("fn called on empty range"); return 0 },
+		func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("empty reduce = %d, want zero value 42", got)
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	for _, tc := range []struct{ s, n int }{{1, 10}, {3, 10}, {4, 4 * minShard}, {7, 1000}} {
+		prev := 0
+		for k := 0; k < tc.s; k++ {
+			lo, hi := bounds(k, tc.s, tc.n)
+			if lo != prev {
+				t.Fatalf("s=%d n=%d shard %d: lo=%d want %d", tc.s, tc.n, k, lo, prev)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("s=%d n=%d: shards end at %d", tc.s, tc.n, prev)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package penvelope_test
+
+import (
+	"math"
+	"testing"
+
+	"dyncg/internal/curve"
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+)
+
+// FuzzEnvelopeMerge fuzzes the Lemma 3.1 merge: the parallel envelope of
+// four arbitrary degree-≤2 curves (built by penvelope's bottom-up merging
+// on a simulated hypercube) must agree with the serial divide-and-conquer
+// envelope of internal/pieces AND with the direct pointwise minimum of
+// the curves, on a dense grid of time samples. Values are compared, not
+// piece IDs: at a crossing the two constructions may credit either curve,
+// but the function value is determined.
+func FuzzEnvelopeMerge(f *testing.F) {
+	f.Add(6.0, -0.5, 0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 5.0, -2.0, 0.25)
+	f.Add(1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0) // all identical
+	f.Add(0.0, 1.0, 0.5, 9.0, -3.0, 0.5, 4.0, 0.0, -0.25, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, b0, b1, b2, c0, c1, c2, d0, d1, d2 float64) {
+		coefs := []float64{a0, a1, a2, b0, b1, b2, c0, c1, c2, d0, d1, d2}
+		for _, c := range coefs {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 100 {
+				t.Skip()
+			}
+		}
+		cs := []curve.Curve{
+			curve.NewPoly(poly.New(a0, a1, a2)),
+			curve.NewPoly(poly.New(b0, b1, b2)),
+			curve.NewPoly(poly.New(c0, c1, c2)),
+			curve.NewPoly(poly.New(d0, d1, d2)),
+		}
+		serial := pieces.EnvelopeOfCurves(cs, pieces.Min)
+		m := machine.New(hypercube.MustNew(penvelope.CubePEs(len(cs), 2)))
+		par, err := penvelope.EnvelopeOfCurves(m, cs, pieces.Min)
+		if err != nil {
+			t.Fatalf("parallel envelope failed: %v (curves %v)", err, cs)
+		}
+		const steps = 256
+		for k := 0; k <= steps; k++ {
+			tt := 20 * float64(k) / steps
+			direct := math.Inf(1)
+			for _, c := range cs {
+				if v := c.Eval(tt); v < direct {
+					direct = v
+				}
+			}
+			tol := 1e-6 * math.Max(1, math.Abs(direct))
+			if v, ok := par.Eval(tt); !ok || math.Abs(v-direct) > tol {
+				t.Fatalf("t=%v: parallel envelope = (%v, %v), direct min = %v (curves %v)",
+					tt, v, ok, direct, cs)
+			}
+			if v, ok := serial.Eval(tt); !ok || math.Abs(v-direct) > tol {
+				t.Fatalf("t=%v: serial envelope = (%v, %v), direct min = %v (curves %v)",
+					tt, v, ok, direct, cs)
+			}
+		}
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"dyncg/internal/curve"
 	"dyncg/internal/dsseq"
 	"dyncg/internal/machine"
+	"dyncg/internal/par"
 	"dyncg/internal/pieces"
 )
 
@@ -146,13 +147,15 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	half := block / 2
 	// Step 1: tag sides.
 	m.ChargeLocal(1)
-	for i := range regs {
-		if regs[i].Ok {
-			r := regs[i].V
-			r.side = uint8((i / half) % 2)
-			regs[i] = machine.Some(r)
+	par.ForEach(m.Workers(), N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if regs[i].Ok {
+				r := regs[i].V
+				r.side = uint8((i / half) % 2)
+				regs[i] = machine.Some(r)
+			}
 		}
-	}
+	})
 	// Step 2: merge the two runs by interval left endpoint. Ties broken
 	// by side then ID for determinism (the paper breaks ties in favour of
 	// Right records; any fixed rule works here because empty windows are
@@ -171,19 +174,21 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	seg := machine.BlockSegments(N, block)
 	seen := make([]machine.Reg[lastSeen], N)
 	m.ChargeLocal(1)
-	for i := range regs {
-		if !regs[i].Ok {
-			continue
+	par.ForEach(m.Workers(), N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !regs[i].Ok {
+				continue
+			}
+			r := regs[i].V
+			ls := lastSeen{}
+			if r.side == 0 {
+				ls.f, ls.fOk = r.p, true
+			} else {
+				ls.g, ls.gOk = r.p, true
+			}
+			seen[i] = machine.Some(ls)
 		}
-		r := regs[i].V
-		ls := lastSeen{}
-		if r.side == 0 {
-			ls.f, ls.fOk = r.p, true
-		} else {
-			ls.g, ls.gOk = r.p, true
-		}
-		seen[i] = machine.Some(ls)
-	}
+	})
 	machine.Scan(m, seen, seg, machine.Forward, mergeSeen)
 	// Each PE also needs the start of the next piece to bound its window.
 	next := machine.ShiftWithin(m, regs, block, -1)
@@ -194,32 +199,43 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	// comparisons on ≤ s+1 subintervals).
 	m.ChargeLocal(1)
 	emitted := make([][]pieces.Piece, N)
-	maxEmit := 0
-	for i := range regs {
-		if !regs[i].Ok || !seen[i].Ok {
-			continue
+	// The window computation (root isolation on a pair of curves) is pure
+	// and writes only emitted[i], so PEs shard freely; maxEmit is an
+	// order-independent max reduction.
+	maxEmit := par.Reduce(m.Workers(), N, 0, func(lo, hi int) int {
+		maxEmit := 0
+		for i := lo; i < hi; i++ {
+			if !regs[i].Ok || !seen[i].Ok {
+				continue
+			}
+			w0 := regs[i].V.p.Lo
+			w1 := math.Inf(1)
+			if next[i].Ok {
+				w1 = next[i].V.p.Lo
+			}
+			if !(w0 < w1) {
+				continue // empty window (tied left endpoints)
+			}
+			ls := seen[i].V
+			var fw, gw pieces.Piecewise
+			if ls.fOk {
+				fw = clip(ls.f, w0, w1)
+			}
+			if ls.gOk {
+				gw = clip(ls.g, w0, w1)
+			}
+			emitted[i] = window(fw, gw)
+			if len(emitted[i]) > maxEmit {
+				maxEmit = len(emitted[i])
+			}
 		}
-		w0 := regs[i].V.p.Lo
-		w1 := math.Inf(1)
-		if next[i].Ok {
-			w1 = next[i].V.p.Lo
+		return maxEmit
+	}, func(a, b int) int {
+		if b > a {
+			return b
 		}
-		if !(w0 < w1) {
-			continue // empty window (tied left endpoints)
-		}
-		ls := seen[i].V
-		var fw, gw pieces.Piecewise
-		if ls.fOk {
-			fw = clip(ls.f, w0, w1)
-		}
-		if ls.gOk {
-			gw = clip(ls.g, w0, w1)
-		}
-		emitted[i] = window(fw, gw)
-		if len(emitted[i]) > maxEmit {
-			maxEmit = len(emitted[i])
-		}
-	}
+		return a
+	})
 	// Pack the emitted subpieces: rank by parallel prefix, then maxEmit
 	// structured routes (each PE holds Θ(1) subpieces).
 	counts := make([]machine.Reg[int], N)
@@ -270,18 +286,20 @@ func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
 	prev := machine.ShiftWithin(m, regs, block, +1) // prev[i] = regs[i-1]
 	runStart := make([]bool, N)
 	m.ChargeLocal(1)
-	for i := range regs {
-		if !regs[i].Ok {
-			runStart[i] = i%block == 0
-			continue
+	par.ForEach(m.Workers(), N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !regs[i].Ok {
+				runStart[i] = i%block == 0
+				continue
+			}
+			if !prev[i].Ok {
+				runStart[i] = true
+				continue
+			}
+			a, b := prev[i].V.p, regs[i].V.p
+			runStart[i] = !(a.ID == b.ID && a.Hi == b.Lo)
 		}
-		if !prev[i].Ok {
-			runStart[i] = true
-			continue
-		}
-		a, b := prev[i].V.p, regs[i].V.p
-		runStart[i] = !(a.ID == b.ID && a.Hi == b.Lo)
-	}
+	})
 	// Bring each run's final Hi to its head.
 	his := make([]machine.Reg[float64], N)
 	for i := range regs {

@@ -5,6 +5,7 @@ import (
 
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
+	"dyncg/internal/par"
 	"dyncg/internal/ratfun"
 )
 
@@ -83,11 +84,13 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		// Split abscissa: max X over each left half-block, spread right.
 		xs := make([]machine.Reg[T], n)
 		m.ChargeLocal(1)
-		for i := range byX {
-			if byX[i].Ok {
-				xs[i] = machine.Some(byX[i].V.X)
+		par.ForEach(m.Workers(), n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if byX[i].Ok {
+					xs[i] = machine.Some(byX[i].V.X)
+				}
 			}
-		}
+		})
 		machine.Semigroup(m, xs, half, func(p, q T) T {
 			if p.Cmp(q) >= 0 {
 				return p
@@ -96,11 +99,13 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		})
 		split := make([]machine.Reg[T], n)
 		m.ChargeLocal(1)
-		for i := range split {
-			if xs[i].Ok && (i/(block/2))%2 == 0 {
-				split[i] = machine.Some(xs[i].V)
+		par.ForEach(m.Workers(), n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if xs[i].Ok && (i/(block/2))%2 == 0 {
+					split[i] = machine.Some(xs[i].V)
+				}
 			}
-		}
+		})
 		machine.Spread(m, split, seg)
 
 		// Block δ so far (exact within each half, by induction).
@@ -111,16 +116,18 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		// Strip membership and compaction.
 		strip := make([]machine.Reg[geom.Point[T]], n)
 		m.ChargeLocal(1)
-		for i := range byY {
-			if !byY[i].Ok || !split[i].Ok {
-				continue
+		par.ForEach(m.Workers(), n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !byY[i].Ok || !split[i].Ok {
+					continue
+				}
+				p := byY[i].V
+				dx := p.X.Sub(split[i].V)
+				if !delta[i].Ok || dx.Mul(dx).Cmp(delta[i].V.d) < 0 {
+					strip[i] = machine.Some(p)
+				}
 			}
-			p := byY[i].V
-			dx := p.X.Sub(split[i].V)
-			if !delta[i].Ok || dx.Mul(dx).Cmp(delta[i].V.d) < 0 {
-				strip[i] = machine.Some(p)
-			}
-		}
+		})
 		machine.Compact(m, strip, seg)
 
 		// Compare each strip point with its ≤ 7 successors.
@@ -128,16 +135,19 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		for k := 0; k < 7; k++ {
 			cur = machine.ShiftWithin(m, cur, block, -1)
 			m.ChargeLocal(1)
-			for i := range strip {
-				if !strip[i].Ok || !cur[i].Ok {
-					continue
+			cur := cur
+			par.ForEach(m.Workers(), n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if !strip[i].Ok || !cur[i].Ok {
+						continue
+					}
+					d := geom.DistSq(strip[i].V, cur[i].V)
+					cand := pairCand[T]{a: strip[i].V.ID, b: cur[i].V.ID, d: d}
+					if !best[i].Ok || d.Cmp(best[i].V.d) < 0 {
+						best[i] = machine.Some(cand)
+					}
 				}
-				d := geom.DistSq(strip[i].V, cur[i].V)
-				cand := pairCand[T]{a: strip[i].V.ID, b: cur[i].V.ID, d: d}
-				if !best[i].Ok || d.Cmp(best[i].V.d) < 0 {
-					best[i] = machine.Some(cand)
-				}
-			}
+			})
 		}
 	}
 	machine.Semigroup(m, best, machine.WholeMachine(n), minPair)

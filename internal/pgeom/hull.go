@@ -8,6 +8,7 @@ import (
 	"dyncg/internal/curve"
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
+	"dyncg/internal/par"
 	"dyncg/internal/penvelope"
 	"dyncg/internal/pieces"
 	"dyncg/internal/poly"
@@ -120,12 +121,14 @@ func dedupe(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F64]
 	})
 	prev := machine.ShiftWithin(m, regs, n, +1)
 	m.ChargeLocal(1)
-	for i := range regs {
-		if regs[i].Ok && prev[i].Ok &&
-			prev[i].V.X == regs[i].V.X && prev[i].V.Y == regs[i].V.Y {
-			regs[i] = machine.None[geom.Point[ratfun.F64]]()
+	par.ForEach(m.Workers(), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if regs[i].Ok && prev[i].Ok &&
+				prev[i].V.X == regs[i].V.X && prev[i].V.Y == regs[i].V.Y {
+				regs[i] = machine.None[geom.Point[ratfun.F64]]()
+			}
 		}
-	}
+	})
 	machine.Compact(m, regs, machine.WholeMachine(n))
 	return machine.Gather(regs)
 }
@@ -142,14 +145,16 @@ func normalize(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F
 	cosR, sinR := math.Cos(rot), math.Sin(rot)
 	rotated := make([]geom.Point[ratfun.F64], len(pts))
 	m.ChargeLocal(1)
-	for i, p := range pts {
-		x, y := float64(p.X), float64(p.Y)
-		rotated[i] = geom.Point[ratfun.F64]{
-			X:  ratfun.F64(x*cosR - y*sinR),
-			Y:  ratfun.F64(x*sinR + y*cosR),
-			ID: p.ID,
+	par.ForEach(m.Workers(), len(pts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y := float64(pts[i].X), float64(pts[i].Y)
+			rotated[i] = geom.Point[ratfun.F64]{
+				X:  ratfun.F64(x*cosR - y*sinR),
+				Y:  ratfun.F64(x*sinR + y*cosR),
+				ID: pts[i].ID,
+			}
 		}
-	}
+	})
 	pts = rotated
 	n := m.Size()
 	type box struct{ minX, maxX, minY, maxY float64 }
@@ -179,13 +184,15 @@ func normalize(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F
 	}
 	m.ChargeLocal(1)
 	out := make([]geom.Point[ratfun.F64], len(pts))
-	for i, p := range pts {
-		out[i] = geom.Point[ratfun.F64]{
-			X:  ratfun.F64((float64(p.X) - cx) / scale),
-			Y:  ratfun.F64((float64(p.Y) - cy) / scale),
-			ID: p.ID,
+	par.ForEach(m.Workers(), len(pts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = geom.Point[ratfun.F64]{
+				X:  ratfun.F64((float64(pts[i].X) - cx) / scale),
+				Y:  ratfun.F64((float64(pts[i].Y) - cy) / scale),
+				ID: pts[i].ID,
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -203,21 +210,23 @@ func slopeBound(m *machine.M, pts []geom.Point[ratfun.F64]) float64 {
 	prev := machine.ShiftWithin(m, regs, n, +1)
 	slopes := make([]machine.Reg[float64], n)
 	m.ChargeLocal(1)
-	for i := range regs {
-		if !regs[i].Ok || !prev[i].Ok {
-			continue
+	par.ForEach(m.Workers(), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !regs[i].Ok || !prev[i].Ok {
+				continue
+			}
+			dx := float64(regs[i].V.X - prev[i].V.X)
+			dy := float64(regs[i].V.Y - prev[i].V.Y)
+			if math.Abs(dx) <= 1e-9 {
+				// (Near-)vertical in normalised coordinates: exact duplicates
+				// of x give parallel dual lines (handled by the envelope);
+				// sub-1e-9 gaps are below the method's float resolution and
+				// would only blow up the slope bound.
+				continue
+			}
+			slopes[i] = machine.Some(math.Abs(dy / dx))
 		}
-		dx := float64(regs[i].V.X - prev[i].V.X)
-		dy := float64(regs[i].V.Y - prev[i].V.Y)
-		if math.Abs(dx) <= 1e-9 {
-			// (Near-)vertical in normalised coordinates: exact duplicates
-			// of x give parallel dual lines (handled by the envelope);
-			// sub-1e-9 gaps are below the method's float resolution and
-			// would only blow up the slope bound.
-			continue
-		}
-		slopes[i] = machine.Some(math.Abs(dy / dx))
-	}
+	})
 	machine.Semigroup(m, slopes, machine.WholeMachine(n), math.Max)
 	best := 1.0
 	for i := range slopes {

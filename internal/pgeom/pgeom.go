@@ -16,6 +16,7 @@ import (
 
 	"dyncg/internal/geom"
 	"dyncg/internal/machine"
+	"dyncg/internal/par"
 	"dyncg/internal/ratfun"
 )
 
@@ -72,12 +73,14 @@ func NearestNeighbor[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T], origin
 	}
 	regs := make([]machine.Reg[cand], n)
 	m.ChargeLocal(1)
-	for i, p := range pts {
-		if i == origin {
-			continue
+	par.ForEach(m.Workers(), len(pts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == origin {
+				continue
+			}
+			regs[i] = machine.Some(cand{d: geom.DistSq(pts[i], q[i].V), id: i})
 		}
-		regs[i] = machine.Some(cand{d: geom.DistSq(p, q[i].V), id: i})
-	}
+	})
 	machine.Semigroup(m, regs, seg, func(a, b cand) cand {
 		c := a.d.Cmp(b.d)
 		if farthest {

@@ -1,0 +1,72 @@
+package poly_test
+
+import (
+	"math"
+	"testing"
+
+	"dyncg/internal/poly"
+)
+
+// FuzzIsolateRoots fuzzes the root isolation of roots.go (recursive
+// critical-point isolation + bisection) with arbitrary polynomials of
+// degree ≤ 4 and checks the properties the paper's algorithms rely on
+// (Θ(1) local root-finding per PE in Lemma 3.1):
+//
+//  1. reported roots lie inside the query interval and are sorted;
+//  2. no sampled root is missed — wherever SignAt strictly changes
+//     between two consecutive sample points, an isolated root brackets
+//     the change.
+func FuzzIsolateRoots(f *testing.F) {
+	f.Add(2.0, -3.0, 1.0, 0.0, 0.0)   // (x−1)(x−2)
+	f.Add(0.0, 1.0, 0.0, 0.0, 0.0)    // x
+	f.Add(-1.0, 0.0, 0.0, 0.0, 1.0)   // x⁴ − 1
+	f.Add(1.0, -4.0, 6.0, -4.0, 1.0)  // (x−1)⁴: quadruple root
+	f.Add(6.25, -5.0, -4.0, 4.0, 1.0) // well-spread quartic
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4 float64) {
+		for _, c := range []float64{c0, c1, c2, c3, c4} {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e6 {
+				t.Skip()
+			}
+		}
+		p := poly.New(c0, c1, c2, c3, c4)
+		if p.IsZero() {
+			t.Skip()
+		}
+		lo, hi := -16.0, 16.0
+		roots := p.Roots(lo, hi)
+		for i, r := range roots {
+			if math.IsNaN(r) || r < lo-1e-9 || r > hi+1e-9 {
+				t.Errorf("root %v outside [%v, %v]; p = %v", r, lo, hi, p)
+			}
+			if i > 0 && roots[i] < roots[i-1] {
+				t.Errorf("roots unsorted: %v; p = %v", roots, p)
+			}
+		}
+		// Sample the sign on a grid; every strict sign change must be
+		// bracketed by a reported root. (Sample points where SignAt
+		// returns 0 — within the residual tolerance of a root — are
+		// transition points themselves and are skipped as anchors.)
+		const steps = 512
+		prevT, prevS := lo, p.SignAt(lo)
+		for k := 1; k <= steps; k++ {
+			tt := lo + (hi-lo)*float64(k)/steps
+			s := p.SignAt(tt)
+			if prevS != 0 && s != 0 && s != prevS {
+				found := false
+				for _, r := range roots {
+					if r >= prevT-1e-6 && r <= tt+1e-6 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("sign change %d→%d on [%v, %v] has no isolated root; p = %v, roots = %v",
+						prevS, s, prevT, tt, p, roots)
+				}
+			}
+			if s != 0 {
+				prevT, prevS = tt, s
+			}
+		}
+	})
+}
