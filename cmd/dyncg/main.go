@@ -2,6 +2,13 @@
 // workload and reports the answer together with the simulated parallel
 // running time on the chosen machine.
 //
+// Every run goes through the fault-injection harness (internal/fault):
+// with no -faults spec it degenerates to a single clean attempt, and
+// with one it injects seeded transient link faults (charged retries)
+// and permanent PE failures (remap onto the largest healthy submachine
+// and re-run). Answers are bit-identical either way; only the charged
+// simulated time grows.
+//
 // Examples:
 //
 //	go run ./cmd/dyncg -algo closest -n 32 -k 2
@@ -9,6 +16,7 @@
 //	go run ./cmd/dyncg -algo hullmember -n 12 -origin 3
 //	go run ./cmd/dyncg -algo containment -d 3 -dims 12,12,12
 //	go run ./cmd/dyncg -algo steady-hull -workload diverging -n 64
+//	go run ./cmd/dyncg -algo closest -faults transient=0.05,fail=1 -fault-seed 7
 package main
 
 import (
@@ -20,9 +28,18 @@ import (
 	"strconv"
 	"strings"
 
+	"dyncg/internal/ccc"
 	"dyncg/internal/core"
+	"dyncg/internal/dsseq"
+	"dyncg/internal/fault"
+	"dyncg/internal/hypercube"
 	"dyncg/internal/machine"
+	"dyncg/internal/mesh"
 	"dyncg/internal/motion"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+	"dyncg/internal/shuffle"
 	"dyncg/internal/trace"
 )
 
@@ -31,7 +48,7 @@ var (
 	n         = flag.Int("n", 16, "number of moving points")
 	k         = flag.Int("k", 1, "motion degree bound")
 	d         = flag.Int("d", 2, "dimension (planar algorithms need 2)")
-	topo      = flag.String("topo", "hypercube", "machine topology: mesh|hypercube")
+	topoName  = flag.String("topo", "hypercube", "machine topology: mesh|hypercube|ccc|shuffle")
 	workload  = flag.String("workload", "random", "workload: random|converging|diverging|circle")
 	origin    = flag.Int("origin", 0, "query point index")
 	dims      = flag.String("dims", "10,10", "hyper-rectangle side lengths (containment)")
@@ -40,6 +57,8 @@ var (
 	costTree  = flag.Bool("costtree", false, "print the per-span cost-attribution tree after the run")
 	costDepth = flag.Int("costdepth", 0, "cost tree depth limit (0 = unlimited)")
 	parallel  = flag.Int("parallel", 0, "worker-pool size for per-PE loops (0 = serial, -1 = GOMAXPROCS); results are identical either way")
+	faults    = flag.String("faults", "", "fault spec, e.g. transient=0.05,retries=3,fail=1,gap=50 (empty = no faults)")
+	faultSeed = flag.Int64("fault-seed", 1, "fault schedule RNG seed (same seed = same schedule)")
 )
 
 // machineOpts translates -parallel into machine options.
@@ -48,6 +67,42 @@ func machineOpts() []machine.Option {
 		return nil
 	}
 	return []machine.Option{machine.WithParallel(*parallel)}
+}
+
+// topoOf returns a topology of the requested family with at least pes
+// PEs (the Θ(n)-PE algorithms: Theorem 4.2 and all of §5).
+func topoOf(pes int) machine.Topology {
+	switch *topoName {
+	case "mesh":
+		return mesh.MustNew(dsseq.NextPow4(pes), mesh.Proximity)
+	case "hypercube":
+		return hypercube.MustNew(dsseq.NextPow2(pes))
+	case "shuffle":
+		q := 0
+		for 1<<q < dsseq.NextPow2(pes) {
+			q++
+		}
+		return shuffle.MustNew(q)
+	case "ccc":
+		for _, q := range []int{1, 2, 4, 8} {
+			if q*(1<<q) >= pes {
+				return ccc.MustNew(q)
+			}
+		}
+		fatal("no bundled CCC has %d PEs; largest is %d", pes, 8*(1<<8))
+	default:
+		fatal("unknown topology %q", *topoName)
+	}
+	panic("unreachable")
+}
+
+// topoFor sizes the machine by the envelope bound λ(n, s) (the Θ(λ(n,s))-PE
+// transient algorithms of §4), matching core.MeshFor/CubeFor.
+func topoFor(points, s int) machine.Topology {
+	if *topoName == "mesh" {
+		return mesh.MustNew(penvelope.MeshPEs(points, s), mesh.Proximity)
+	}
+	return topoOf(penvelope.CubePEs(points, s))
 }
 
 func main() {
@@ -67,114 +122,205 @@ func main() {
 		fatal("unknown workload %q", *workload)
 	}
 	fmt.Printf("workload: %s, n=%d, k=%d, d=%d, machine=%s\n",
-		*workload, sys.N(), sys.K, sys.D, *topo)
+		*workload, sys.N(), sys.K, sys.D, *topoName)
 
-	// attach installs a tracer on whichever machine the algorithm picks,
-	// when any trace output was requested.
-	var tr *trace.Tracer
-	attach := func(m *machine.M) *machine.M {
-		if *traceOut != "" || *costTree {
-			tr = trace.Attach(m, *algo)
-		}
-		return m
-	}
-	mkFor := func(s int) *machine.M {
-		if *topo == "mesh" {
-			return attach(core.MeshFor(sys.N(), s, machineOpts()...))
-		}
-		return attach(core.CubeFor(sys.N(), s, machineOpts()...))
-	}
-	mkOf := func(sz int) *machine.M {
-		if *topo == "mesh" {
-			return attach(core.MeshOf(sz, machineOpts()...))
-		}
-		return attach(core.CubeOf(sz, machineOpts()...))
+	spec, err := fault.ParseSpec(*faults)
+	check(err)
+	var plan *fault.Plan
+	if !spec.Zero() {
+		plan = fault.NewPlan(spec, *faultSeed)
 	}
 
-	var m *machine.M
+	// Each case picks the machine the algorithm needs and splits the old
+	// inline run into a body (the re-run unit of the recovery protocol:
+	// results land in captured variables, and bodies that would index out
+	// of a too-small degraded machine return an error instead) and a
+	// report printed once the harness succeeds.
+	var topo machine.Topology
+	var body func(*machine.M) error
+	var report func()
 	switch *algo {
 	case "closest", "farthest":
-		m = mkFor(2 * maxi(sys.K, 1))
+		topo = topoFor(sys.N(), 2*maxi(sys.K, 1))
 		var seq []core.NeighborEvent
-		var err error
-		if *algo == "closest" {
-			seq, err = core.ClosestPointSequence(m, sys, *origin)
-		} else {
-			seq, err = core.FarthestPointSequence(m, sys, *origin)
+		body = func(m *machine.M) error {
+			var err error
+			if *algo == "closest" {
+				seq, err = core.ClosestPointSequence(m, sys, *origin)
+			} else {
+				seq, err = core.FarthestPointSequence(m, sys, *origin)
+			}
+			return err
 		}
-		check(err)
-		fmt.Printf("%s-point sequence for P%d:\n", *algo, *origin)
-		for _, ev := range seq {
-			fmt.Printf("  P%-3d on %s\n", ev.Point, ivString(ev.Lo, ev.Hi))
+		report = func() {
+			fmt.Printf("%s-point sequence for P%d:\n", *algo, *origin)
+			for _, ev := range seq {
+				fmt.Printf("  P%-3d on %s\n", ev.Point, ivString(ev.Lo, ev.Hi))
+			}
 		}
 	case "collisions":
-		m = mkOf(8 * sys.N())
-		cs, err := core.CollisionTimes(m, sys, *origin)
-		check(err)
-		fmt.Printf("%d collisions involving P%d:\n", len(cs), *origin)
-		for _, c := range cs {
-			fmt.Printf("  t=%.4f with P%d\n", c.T, c.B)
+		topo = topoOf(8 * sys.N())
+		var cs []core.Collision
+		body = func(m *machine.M) error {
+			var err error
+			cs, err = core.CollisionTimes(m, sys, *origin)
+			return err
+		}
+		report = func() {
+			fmt.Printf("%d collisions involving P%d:\n", len(cs), *origin)
+			for _, c := range cs {
+				fmt.Printf("  t=%.4f with P%d\n", c.T, c.B)
+			}
 		}
 	case "hullmember":
-		m = mkFor(4*maxi(sys.K, 1) + 2)
-		ivs, err := core.HullVertexIntervals(m, sys, *origin)
-		check(err)
-		fmt.Printf("P%d is a hull vertex during:\n", *origin)
-		for _, iv := range ivs {
-			fmt.Printf("  %s\n", ivString(iv.Lo, iv.Hi))
+		topo = topoFor(sys.N(), 4*maxi(sys.K, 1)+2)
+		var ivs []core.Interval
+		body = func(m *machine.M) error {
+			var err error
+			ivs, err = core.HullVertexIntervals(m, sys, *origin)
+			return err
+		}
+		report = func() {
+			fmt.Printf("P%d is a hull vertex during:\n", *origin)
+			for _, iv := range ivs {
+				fmt.Printf("  %s\n", ivString(iv.Lo, iv.Hi))
+			}
 		}
 	case "containment":
 		box := parseDims(*dims)
-		m = mkFor(sys.K + 2)
-		ivs, err := core.ContainmentIntervals(m, sys, box)
-		check(err)
-		fmt.Printf("system fits in %v during:\n", box)
-		for _, iv := range ivs {
-			fmt.Printf("  %s\n", ivString(iv.Lo, iv.Hi))
+		topo = topoFor(sys.N(), sys.K+2)
+		var ivs []core.Interval
+		body = func(m *machine.M) error {
+			var err error
+			ivs, err = core.ContainmentIntervals(m, sys, box)
+			return err
+		}
+		report = func() {
+			fmt.Printf("system fits in %v during:\n", box)
+			for _, iv := range ivs {
+				fmt.Printf("  %s\n", ivString(iv.Lo, iv.Hi))
+			}
 		}
 	case "cube-edge":
-		m = mkFor(sys.K + 2)
-		dfn, err := core.SmallestHypercubeEdge(m, sys)
-		check(err)
-		fmt.Printf("D(t) has %d pieces:\n", len(dfn))
-		for _, p := range dfn {
-			fmt.Printf("  %s on %s\n", p.F, ivString(p.Lo, p.Hi))
+		topo = topoFor(sys.N(), sys.K+2)
+		var dfn pieces.Piecewise
+		body = func(m *machine.M) error {
+			var err error
+			dfn, err = core.SmallestHypercubeEdge(m, sys)
+			return err
+		}
+		report = func() {
+			fmt.Printf("D(t) has %d pieces:\n", len(dfn))
+			for _, p := range dfn {
+				fmt.Printf("  %s on %s\n", p.F, ivString(p.Lo, p.Hi))
+			}
 		}
 	case "smallest-cube":
-		m = mkFor(sys.K + 2)
-		dmin, tmin, err := core.SmallestEverHypercube(m, sys)
-		check(err)
-		fmt.Printf("smallest-ever bounding hypercube: edge %.4f at t=%.4f\n", dmin, tmin)
+		topo = topoFor(sys.N(), sys.K+2)
+		var dmin, tmin float64
+		body = func(m *machine.M) error {
+			var err error
+			dmin, tmin, err = core.SmallestEverHypercube(m, sys)
+			return err
+		}
+		report = func() {
+			fmt.Printf("smallest-ever bounding hypercube: edge %.4f at t=%.4f\n", dmin, tmin)
+		}
 	case "steady-nn":
-		m = mkOf(sys.N())
-		nn, err := core.SteadyNearestNeighbor(m, sys, *origin, false)
-		check(err)
-		fmt.Printf("steady-state nearest neighbour of P%d: P%d\n", *origin, nn)
+		topo = topoOf(sys.N())
+		var nn int
+		body = func(m *machine.M) error {
+			if m.Size() < sys.N() {
+				return fmt.Errorf("steady-nn: %d points on %d PEs", sys.N(), m.Size())
+			}
+			var err error
+			nn, err = core.SteadyNearestNeighbor(m, sys, *origin, false)
+			return err
+		}
+		report = func() {
+			fmt.Printf("steady-state nearest neighbour of P%d: P%d\n", *origin, nn)
+		}
 	case "steady-cp":
-		m = mkOf(4 * sys.N())
-		a, b, err := core.SteadyClosestPair(m, sys)
-		check(err)
-		fmt.Printf("steady-state closest pair: P%d, P%d\n", a, b)
+		topo = topoOf(4 * sys.N())
+		var a, b int
+		body = func(m *machine.M) error {
+			if m.Size() < sys.N() {
+				return fmt.Errorf("steady-cp: %d points on %d PEs", sys.N(), m.Size())
+			}
+			var err error
+			a, b, err = core.SteadyClosestPair(m, sys)
+			return err
+		}
+		report = func() { fmt.Printf("steady-state closest pair: P%d, P%d\n", a, b) }
 	case "steady-hull":
-		m = mkOf(8 * sys.N())
-		hull, err := core.SteadyHull(m, sys)
-		check(err)
-		fmt.Printf("steady-state hull (%d vertices, CCW): %v\n", len(hull), hull)
+		topo = topoOf(8 * sys.N())
+		var hull []int
+		body = func(m *machine.M) error {
+			if m.Size() < sys.N() {
+				return fmt.Errorf("steady-hull: %d points on %d PEs", sys.N(), m.Size())
+			}
+			var err error
+			hull, err = core.SteadyHull(m, sys)
+			return err
+		}
+		report = func() {
+			fmt.Printf("steady-state hull (%d vertices, CCW): %v\n", len(hull), hull)
+		}
 	case "steady-farthest":
-		m = mkOf(8 * sys.N())
-		a, b, d2, err := core.SteadyFarthestPair(m, sys)
-		check(err)
-		fmt.Printf("steady-state farthest pair: P%d, P%d with d²(t) = %v\n", a, b, d2)
+		topo = topoOf(8 * sys.N())
+		var a, b int
+		var d2 poly.Poly
+		body = func(m *machine.M) error {
+			// The antipodal stage groups hull edges with query directions
+			// on one machine, so demand headroom beyond the point count.
+			if m.Size() < 4*sys.N() {
+				return fmt.Errorf("steady-farthest: %d points need %d PEs, machine has %d",
+					sys.N(), 4*sys.N(), m.Size())
+			}
+			var err error
+			a, b, d2, err = core.SteadyFarthestPair(m, sys)
+			return err
+		}
+		report = func() {
+			fmt.Printf("steady-state farthest pair: P%d, P%d with d²(t) = %v\n", a, b, d2)
+		}
 	case "steady-rect":
-		m = mkOf(8 * sys.N())
-		rect, err := core.SteadyMinAreaRect(m, sys)
-		check(err)
-		fmt.Printf("steady-state min-area rectangle: base on hull edge %d, area(t) = %v\n",
-			rect.Edge, rect.Area)
+		topo = topoOf(8 * sys.N())
+		var rect core.SteadyRect
+		body = func(m *machine.M) error {
+			if m.Size() < 4*sys.N() {
+				return fmt.Errorf("steady-rect: %d points need %d PEs, machine has %d",
+					sys.N(), 4*sys.N(), m.Size())
+			}
+			var err error
+			rect, err = core.SteadyMinAreaRect(m, sys)
+			return err
+		}
+		report = func() {
+			fmt.Printf("steady-state min-area rectangle: base on hull edge %d, area(t) = %v\n",
+				rect.Edge, rect.Area)
+		}
 	default:
 		fatal("unknown algorithm %q", *algo)
 	}
-	fmt.Printf("\nsimulated parallel time on %s: %v\n", m.Topology().Name(), m.Stats())
+
+	// Attach a fresh tracer to every attempt's machine; -costtree and
+	// -trace report the final attempt (the one that produced the answer
+	// and carries the recovery charge), as aborted attempts die mid-span.
+	var tr *trace.Tracer
+	opts := []fault.RunOption{fault.WithMachineOptions(machineOpts()...)}
+	if *traceOut != "" || *costTree {
+		opts = append(opts, fault.WithAttach(func(m *machine.M, attempt int) {
+			tr = trace.Attach(m, *algo)
+		}))
+	}
+	res, err := fault.Run(topo, plan, body, opts...)
+	check(err)
+	report()
+	fmt.Printf("\nsimulated parallel time on %s: %v\n", res.Topo.Name(), res.Stats)
+	if plan != nil {
+		fmt.Printf("fault report: %s\n", res)
+	}
 
 	if tr != nil {
 		root := tr.Finish()
@@ -185,7 +331,7 @@ func main() {
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			check(err)
-			check(trace.WriteChrome(f, root, m))
+			check(trace.WriteChrome(f, root, res.M))
 			check(f.Close())
 			fmt.Printf("\nchrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 		}

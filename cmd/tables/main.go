@@ -25,6 +25,7 @@ import (
 	"dyncg/internal/core"
 	"dyncg/internal/curve"
 	"dyncg/internal/dsseq"
+	"dyncg/internal/fault"
 	"dyncg/internal/geom"
 	"dyncg/internal/hypercube"
 	"dyncg/internal/machine"
@@ -47,7 +48,25 @@ var (
 	jsonOut    = flag.Bool("json", false, "write BENCH_tables.json (one record per table cell, with claimed-bound ratios)")
 	traceDir   = flag.String("trace-dir", "", "write a Chrome trace per table row (at the largest n) into this directory")
 	parallel   = flag.Int("parallel", 0, "re-run every table cell with a worker pool of this size and record the serial-vs-parallel wall-clock speedup; simulated times must match exactly (0 = off)")
+	faultsFlag = flag.String("faults", "", "transient fault spec applied to every table cell, e.g. transient=0.02,retries=3; answers are unchanged, measured times grow (fail= is rejected here — permanent failures need the recovery harness, use cmd/dyncg)")
+	faultSeed  = flag.Int64("fault-seed", 1, "fault schedule RNG seed")
 )
+
+// faultSpec is the parsed -faults value; each table machine gets its own
+// plan from it (same seed, so every cell sees the same deterministic
+// schedule relative to its own round stream). Figures and the C1–C4
+// comparisons build machines outside machineOf/machineFor and stay
+// fault-free.
+var faultSpec fault.Spec
+
+func maybeInject(m *machine.M) *machine.M {
+	if !faultSpec.Zero() {
+		p := fault.NewPlan(faultSpec, *faultSeed)
+		p.Bind(m.Size())
+		m.SetInjector(p)
+	}
+	return m
+}
 
 // parOpts is applied by the machine constructors below; printTable sets it
 // for the parallel timing pass and clears it for the canonical serial pass.
@@ -55,6 +74,23 @@ var parOpts []machine.Option
 
 func main() {
 	flag.Parse()
+	spec, err := fault.ParseSpec(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	if spec.Fail > 0 {
+		fmt.Fprintln(os.Stderr, "tables: -faults fail= needs the remap-and-rerun recovery harness; use cmd/dyncg for permanent PE failures")
+		os.Exit(1)
+	}
+	if !spec.Zero() && *parallel > 0 {
+		fmt.Fprintln(os.Stderr, "tables: -faults and -parallel cannot be combined (the parallel pass must reproduce the serial simulated time exactly)")
+		os.Exit(1)
+	}
+	faultSpec = spec
+	if !faultSpec.Zero() {
+		fmt.Printf("fault injection on every table cell: %s (seed %d)\n", faultSpec, *faultSeed)
+	}
 	all := *tableFlag == 0 && *figureFlag == 0 && *compFlag == 0
 	if all || *figureFlag == 1 {
 		figure1()
@@ -284,15 +320,15 @@ func cubeM(n int) *machine.M {
 }
 func machineOf(n int, topo string) *machine.M {
 	if topo == "mesh" {
-		return maybeTrace(meshM(n))
+		return maybeInject(maybeTrace(meshM(n)))
 	}
-	return maybeTrace(cubeM(n))
+	return maybeInject(maybeTrace(cubeM(n)))
 }
 func machineFor(n, s int, topo string) *machine.M {
 	if topo == "mesh" {
-		return maybeTrace(core.MeshFor(n, s, parOpts...))
+		return maybeInject(maybeTrace(core.MeshFor(n, s, parOpts...)))
 	}
-	return maybeTrace(core.CubeFor(n, s, parOpts...))
+	return maybeInject(maybeTrace(core.CubeFor(n, s, parOpts...)))
 }
 
 // ---------------------------------------------------------------- figures

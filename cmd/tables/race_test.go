@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; the golden test skips itself there (≈10× slowdown on a run
+// that is single-goroutine and already covered by the plain pass).
+const raceEnabled = true

@@ -1,0 +1,211 @@
+// Package fault is the fault-injection and recovery subsystem of the
+// simulator: deterministic, seeded schedules of transient link faults and
+// permanent PE failures for machine.M, plus the recovery harness that
+// keeps the paper's algorithms returning bit-identical geometric answers
+// while the machine underneath is being perturbed.
+//
+// The paper's machines (§2.2 mesh, §2.3 hypercube) are idealized
+// lock-step SIMD — every round succeeds and every PE is alive. This
+// package supplies the degraded-operation story a production-scale
+// system needs, without giving up the simulator's two core guarantees:
+//
+//   - Determinism: a Plan draws every fault decision from its own seeded
+//     PRNG, consumed in charged-round order, with no wall-clock input.
+//     The same seed against the same computation yields the identical
+//     fault schedule, identical Stats, and an identical trace span tree.
+//
+//   - Honest cost accounting: transient faults trigger bounded
+//     retry-with-backoff whose extra rounds are charged to Stats
+//     (CommSteps/Rounds/Messages) inside whatever primitive span is open,
+//     and permanent PE failures trigger remap-onto-a-healthy-submachine
+//     (Gray-code-aligned subcube on the hypercube, Hilbert-aligned
+//     submesh on the mesh) with an explicitly charged checkpoint-restore
+//     route — so degraded runs show strictly larger simulated time,
+//     attributed to the retrying/remapped primitives in the cost tree.
+//
+// Usage:
+//
+//	spec, _ := fault.ParseSpec("transient=0.02,retries=3,fail=1,gap=200")
+//	plan := fault.NewPlan(spec, seed)
+//	res, err := fault.Run(topo, plan, func(m *machine.M) error {
+//	    out, err = core.ClosestPointSequence(m, sys, 0)
+//	    return err
+//	})
+//	// out is bit-identical to a fault-free run; res.Stats holds the
+//	// (strictly larger) cumulative simulated cost.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"dyncg/internal/machine"
+)
+
+// Spec describes a fault workload. The zero Spec injects nothing.
+type Spec struct {
+	// Transient is the per-communication-round probability of a
+	// transient link fault (a round that must be re-sent).
+	Transient float64
+	// MaxRetries bounds the retry attempts a single transient fault can
+	// need; the actual count is drawn uniformly from [1, MaxRetries].
+	// 0 means the default of 3.
+	MaxRetries int
+	// Fail is the number of permanent PE failures to inject over the
+	// run. Each failure requires the recovery harness (Run); driving a
+	// machine directly with a failing plan panics with machine.PEFailure.
+	Fail int
+	// Gap is the mean number of communication rounds between permanent
+	// failures; the actual gap is drawn uniformly from [1, 2·Gap].
+	// 0 means the default of 200.
+	Gap int
+}
+
+// Defaults for unset Spec fields.
+const (
+	defaultMaxRetries = 3
+	defaultGap        = 200
+)
+
+// Zero reports whether the spec injects no faults at all.
+func (s Spec) Zero() bool { return s.Transient == 0 && s.Fail == 0 }
+
+func (s Spec) String() string {
+	parts := []string{fmt.Sprintf("transient=%g", s.Transient)}
+	if s.MaxRetries != 0 {
+		parts = append(parts, fmt.Sprintf("retries=%d", s.MaxRetries))
+	}
+	if s.Fail != 0 {
+		parts = append(parts, fmt.Sprintf("fail=%d", s.Fail))
+		if s.Gap != 0 {
+			parts = append(parts, fmt.Sprintf("gap=%d", s.Gap))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the comma-separated key=value fault spec accepted by
+// the -faults CLI flags: transient=<prob>, retries=<max>, fail=<count>,
+// gap=<rounds>. Unknown keys and malformed values are errors; an empty
+// string is the zero Spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: bad spec entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "transient":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Spec{}, fmt.Errorf("fault: transient=%q is not a probability", v)
+			}
+			spec.Transient = p
+		case "retries":
+			r, err := strconv.Atoi(v)
+			if err != nil || r < 1 {
+				return Spec{}, fmt.Errorf("fault: retries=%q is not a positive count", v)
+			}
+			spec.MaxRetries = r
+		case "fail":
+			f, err := strconv.Atoi(v)
+			if err != nil || f < 0 {
+				return Spec{}, fmt.Errorf("fault: fail=%q is not a count", v)
+			}
+			spec.Fail = f
+		case "gap":
+			g, err := strconv.Atoi(v)
+			if err != nil || g < 1 {
+				return Spec{}, fmt.Errorf("fault: gap=%q is not a positive round count", v)
+			}
+			spec.Gap = g
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+	}
+	return spec, nil
+}
+
+// Plan is a deterministic, seeded fault schedule implementing
+// machine.Injector. It consumes its PRNG in charged-round order and
+// never reads the wall clock, so the schedule is a pure function of
+// (Spec, seed, computation). A Plan is single-goroutine, like the
+// machine it is attached to, and is stateful across the attempts of one
+// fault.Run (the round counter and remaining-failure budget carry over a
+// remap, so the schedule perturbs the whole execution, recovery re-runs
+// included).
+type Plan struct {
+	spec      Spec
+	seed      int64
+	rng       *rand.Rand
+	size      int   // current machine size (victims are drawn from it)
+	round     int64 // charged communication rounds seen so far
+	nextFail  int64 // round at which the next permanent failure fires
+	failsLeft int
+
+	// Counters for reporting (mirrored into Run's Result).
+	Transients  int64 // rounds that suffered a transient fault
+	RetryRounds int64 // extra retry rounds injected
+	Failed      int   // permanent failures fired
+}
+
+// NewPlan builds a plan from a spec and a seed. Unset spec fields take
+// the package defaults (MaxRetries 3, Gap 200).
+func NewPlan(spec Spec, seed int64) *Plan {
+	if spec.MaxRetries == 0 {
+		spec.MaxRetries = defaultMaxRetries
+	}
+	if spec.Gap == 0 {
+		spec.Gap = defaultGap
+	}
+	p := &Plan{spec: spec, seed: seed,
+		rng: rand.New(rand.NewSource(seed)), failsLeft: spec.Fail}
+	p.scheduleNextFail()
+	return p
+}
+
+// Spec returns the (default-normalized) spec the plan was built from.
+func (p *Plan) Spec() Spec { return p.spec }
+
+// Seed returns the plan's PRNG seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Bind tells the plan the size of the machine it is about to observe, so
+// permanent-failure victims are drawn from live labels. Run calls it at
+// every attempt; standalone transient-only users (fail=0) may skip it.
+func (p *Plan) Bind(n int) { p.size = n }
+
+func (p *Plan) scheduleNextFail() {
+	if p.failsLeft <= 0 {
+		p.nextFail = -1
+		return
+	}
+	p.nextFail = p.round + 1 + p.rng.Int63n(int64(2*p.spec.Gap))
+}
+
+// CommRound implements machine.Injector.
+func (p *Plan) CommRound(machine.RoundInfo) machine.FaultOutcome {
+	p.round++
+	out := machine.CleanRound
+	if p.spec.Transient > 0 && p.rng.Float64() < p.spec.Transient {
+		out.Retries = 1 + p.rng.Intn(p.spec.MaxRetries)
+		p.Transients++
+		p.RetryRounds += int64(out.Retries)
+	}
+	if p.nextFail >= 0 && p.round >= p.nextFail {
+		if p.size <= 0 {
+			panic("fault: Plan with permanent failures used without Bind (use fault.Run)")
+		}
+		out.FailPE = p.rng.Intn(p.size)
+		p.failsLeft--
+		p.Failed++
+		p.scheduleNextFail()
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package fault
+
+// Graceful degradation needs somewhere healthy to run. Both of the
+// paper's labellings were chosen so that aligned blocks of consecutive
+// labels are themselves instances of the machine: on the Gray-coded
+// hypercube every aligned block of 2^j labels is a subcube (§2.3), and
+// under the mesh's proximity (Hilbert) indexing every aligned block of
+// 4^j indices is a √-sized submesh (§2.2, property 2). So "remap onto
+// the largest healthy subcube/submesh" is exactly "find the largest
+// aligned label block containing no dead PE and re-label it 0..size-1".
+// The same construction applies verbatim to the CCC and shuffle-exchange
+// networks (aligned power-of-two index blocks; distances stay the
+// parent's BFS distances, so charged costs remain honest even though the
+// block is not an induced sub-network there).
+
+import (
+	"fmt"
+
+	"dyncg/internal/machine"
+)
+
+// BlockBase returns the alignment base of topo's healthy-block structure:
+// 4 for the mesh (submeshes are quadrants of the Hilbert order), 2 for
+// the hypercube, CCC, and shuffle-exchange (power-of-two label blocks).
+func BlockBase(topo machine.Topology) int {
+	// The mesh is the only bundled topology with a √n side.
+	if _, ok := topo.(interface{ Side() int }); ok {
+		return 4
+	}
+	return 2
+}
+
+// LargestHealthyBlock returns the offset and size of the largest aligned
+// block of consecutive labels — size a power of base, offset a multiple
+// of the size — containing no dead PE. It prefers larger blocks, and the
+// lowest offset among equals (deterministic). size 0 means no healthy PE
+// remains.
+func LargestHealthyBlock(n, base int, dead map[int]bool) (off, size int) {
+	for size = 1; size*base <= n; size *= base {
+	}
+	for ; size >= 1; size /= base {
+		blocked := make(map[int]bool, len(dead))
+		for d := range dead {
+			if d >= 0 && d < n {
+				blocked[d/size] = true
+			}
+		}
+		for b := 0; b*size+size <= n; b++ {
+			if !blocked[b] {
+				return b * size, size
+			}
+		}
+	}
+	return 0, 0
+}
+
+// Sub is a machine.Topology view of an aligned label block of a parent
+// topology: the healthy submachine a computation is remapped onto after
+// permanent PE failures. Label i of the Sub is label Off+i of the
+// parent; distances are the parent's link distances, so simulated costs
+// on the degraded machine remain distances in the real network.
+type Sub struct {
+	parent machine.Topology
+	off, n int
+	diam   int
+}
+
+// NewSub builds the aligned-block view [off, off+n) of parent.
+func NewSub(parent machine.Topology, off, n int) *Sub {
+	if off < 0 || n <= 0 || off+n > parent.Size() {
+		panic(fmt.Sprintf("fault: block [%d,%d) outside topology of size %d",
+			off, off+n, parent.Size()))
+	}
+	s := &Sub{parent: parent, off: off, n: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := s.Distance(i, j); d > s.diam {
+				s.diam = d
+			}
+		}
+	}
+	return s
+}
+
+// Parent returns the wrapped topology.
+func (s *Sub) Parent() machine.Topology { return s.parent }
+
+// Offset returns the parent label of the Sub's label 0.
+func (s *Sub) Offset() int { return s.off }
+
+// Size implements machine.Topology.
+func (s *Sub) Size() int { return s.n }
+
+// Name implements machine.Topology.
+func (s *Sub) Name() string {
+	return fmt.Sprintf("%s[healthy %d..%d]", s.parent.Name(), s.off, s.off+s.n-1)
+}
+
+// Distance implements machine.Topology: the parent's link distance
+// between the underlying PEs.
+func (s *Sub) Distance(i, j int) int {
+	return s.parent.Distance(s.off+i, s.off+j)
+}
+
+// Diameter implements machine.Topology: the worst pairwise distance
+// within the block (equals the subcube/submesh diameter on the
+// hypercube/mesh).
+func (s *Sub) Diameter() int { return s.diam }

@@ -1,0 +1,116 @@
+package machine
+
+// This file is the fault-injection hook surface of the simulator, the
+// degraded-operation counterpart of the Observer hook in observe.go. The
+// machine stays dependency-free: it only *asks* an attached Injector for
+// the fault fate of every charged communication round, and internal/fault
+// implements the seeded schedules and the recovery harness on top. When
+// no injector is attached every hook is a single nil check, so the
+// fault-free fast path stays within the same ≤2% overhead budget as
+// tracing (see BenchmarkInjectorOverhead in internal/fault and the record
+// in EXPERIMENTS.md).
+//
+// Fault model. The machines are lock-step SIMD, so faults are modelled at
+// round granularity:
+//
+//   - A *transient link fault* makes a communication round unreliable:
+//     the round's messages must be re-sent. The injector reports how many
+//     retry attempts the round needs; each retry is charged as a full
+//     extra round whose communication cost grows linearly with the
+//     attempt number (retry k waits k extra steps of backoff before
+//     re-sending). Data is never corrupted — the SIMD controller detects
+//     the fault and replays the round — so algorithm outputs are
+//     unchanged while Stats honestly records the degraded cost.
+//
+//   - A *permanent PE failure* kills one processing element. The machine
+//     cannot recover by itself (register files live with the algorithm,
+//     not the machine), so it raises a PEFailure panic that the recovery
+//     harness (internal/fault.Run) converts into remap-onto-a-healthy-
+//     submachine plus re-run. Driving an injector that fails PEs without
+//     that harness crashes, deliberately.
+
+import "fmt"
+
+// FaultOutcome is an Injector's verdict on one charged communication
+// round.
+type FaultOutcome struct {
+	// Retries is the number of extra times the round must be re-sent due
+	// to transient link faults (0 = clean round). Each retry is charged
+	// as one full round with linear backoff (see faultRound).
+	Retries int
+	// FailPE, when ≥ 0, is the label of a PE that permanently fails at
+	// the end of this round; the machine raises PEFailure{FailPE}.
+	FailPE int
+}
+
+// CleanRound is the no-fault outcome.
+var CleanRound = FaultOutcome{FailPE: -1}
+
+// Injector decides the fault fate of every charged communication round
+// (XOR, shift, and route rounds; local phases involve no links and are
+// never faulted). Implementations must be cheap and deterministic: the
+// hook runs synchronously inside the simulator on the machine's owning
+// goroutine, and the whole fault subsystem's reproducibility contract
+// (same seed ⇒ same schedule ⇒ same Stats and trace) rests on the
+// injector consuming randomness only from its own seeded source in round
+// order. Retried rounds are NOT re-submitted to the injector.
+type Injector interface {
+	CommRound(info RoundInfo) FaultOutcome
+}
+
+// PEFailure is the panic value raised when the attached Injector reports
+// a permanent PE failure. internal/fault.Run recovers it, remaps the
+// computation onto the largest healthy submachine, and re-runs.
+type PEFailure struct{ PE int }
+
+func (f PEFailure) Error() string {
+	return fmt.Sprintf("machine: PE %d failed permanently", f.PE)
+}
+
+// SetInjector attaches (or, with nil, detaches) the machine's fault
+// injector. Fault injection is opt-in: with no injector attached the
+// charge paths reduce to nil checks.
+func (m *M) SetInjector(inj Injector) { m.inj = inj }
+
+// Injector returns the attached injector, or nil.
+func (m *M) Injector() Injector { return m.inj }
+
+// faultRound applies the injector's verdict for a just-charged round:
+// retries are charged as extra rounds with linear backoff (retry k costs
+// Dist+k communication steps and re-sends all Msgs messages), emitted to
+// the observer as RoundRetry events so traces attribute the degraded cost
+// to the primitive that suffered it; a permanent PE failure becomes a
+// PEFailure panic for the recovery harness.
+func (m *M) faultRound(ri RoundInfo) {
+	out := m.inj.CommRound(ri)
+	for k := 1; k <= out.Retries; k++ {
+		d := ri.Dist + k
+		m.st.Rounds++
+		m.st.CommSteps += int64(d)
+		m.st.LocalSteps++
+		m.st.Messages += int64(ri.Msgs)
+		if m.obs != nil {
+			m.obs.Round(RoundInfo{Kind: RoundRetry, Param: k, Dist: d, Msgs: ri.Msgs})
+		}
+	}
+	if out.FailPE >= 0 {
+		panic(PEFailure{PE: out.FailPE})
+	}
+}
+
+// ChargeRecovery records one structured recovery round — the
+// checkpoint-restore state migration internal/fault charges when it
+// remaps a computation onto a healthy submachine after a permanent PE
+// failure. It is charged like a route (worst point-to-point distance plus
+// one local phase) and emitted as a RoundRecovery event; the injector is
+// deliberately not consulted (recovery traffic uses the already-verified
+// healthy region).
+func (m *M) ChargeRecovery(dist, msgs int) {
+	m.st.Rounds++
+	m.st.CommSteps += int64(dist)
+	m.st.LocalSteps++
+	m.st.Messages += int64(msgs)
+	if m.obs != nil {
+		m.obs.Round(RoundInfo{Kind: RoundRecovery, Dist: dist, Msgs: msgs})
+	}
+}

@@ -125,6 +125,7 @@ type M struct {
 	st      Stats
 	workers int      // worker pool size for per-PE loops; ≤ 1 means serial
 	obs     Observer // nil unless tracing is attached (see observe.go)
+	inj     Injector // nil unless fault injection is attached (see fault.go)
 
 	xorCost   map[int]int // bit → worst partner distance for i ⊕ 2^b
 	shiftCost map[int]int // offset → worst partner distance for i → i+off
@@ -235,6 +236,9 @@ func (m *M) chargeXOR(b int, msgs int) {
 	if m.obs != nil {
 		m.obs.Round(RoundInfo{Kind: RoundXOR, Param: b, Dist: d, Msgs: msgs})
 	}
+	if m.inj != nil {
+		m.faultRound(RoundInfo{Kind: RoundXOR, Param: b, Dist: d, Msgs: msgs})
+	}
 }
 
 // chargeShift records one ±off shift round.
@@ -249,6 +253,12 @@ func (m *M) chargeShift(off, msgs int) {
 			off = -off
 		}
 		m.obs.Round(RoundInfo{Kind: RoundShift, Param: off, Dist: d, Msgs: msgs})
+	}
+	if m.inj != nil {
+		if off < 0 {
+			off = -off
+		}
+		m.faultRound(RoundInfo{Kind: RoundShift, Param: off, Dist: d, Msgs: msgs})
 	}
 }
 
@@ -283,6 +293,9 @@ func (m *M) ChargeRoute(src, dest []int) {
 	m.st.Messages += int64(msgs)
 	if m.obs != nil {
 		m.obs.Round(RoundInfo{Kind: RoundRoute, Dist: max, Msgs: msgs})
+	}
+	if m.inj != nil {
+		m.faultRound(RoundInfo{Kind: RoundRoute, Dist: max, Msgs: msgs})
 	}
 }
 

@@ -13,10 +13,12 @@ type RoundKind uint8
 
 // The cost event kinds, one per charging entry point of M.
 const (
-	RoundXOR   RoundKind = iota // partner i ⊕ 2^b (bitonic merge/sort)
-	RoundShift                  // partner i ± off (prefix, broadcast, …)
-	RoundRoute                  // one structured route
-	RoundLocal                  // pure Θ(1)-per-PE local phases
+	RoundXOR      RoundKind = iota // partner i ⊕ 2^b (bitonic merge/sort)
+	RoundShift                     // partner i ± off (prefix, broadcast, …)
+	RoundRoute                     // one structured route
+	RoundLocal                     // pure Θ(1)-per-PE local phases
+	RoundRetry                     // re-send of a faulted round (transient link fault, see fault.go)
+	RoundRecovery                  // checkpoint-restore route after a permanent PE failure
 )
 
 // String returns the kind name used in traces and metrics.
@@ -30,6 +32,10 @@ func (k RoundKind) String() string {
 		return "route"
 	case RoundLocal:
 		return "local"
+	case RoundRetry:
+		return "retry"
+	case RoundRecovery:
+		return "recovery"
 	}
 	return "unknown"
 }

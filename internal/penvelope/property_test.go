@@ -1,0 +1,147 @@
+package penvelope
+
+// Property tests for Theorem 3.2 against the two mathematical facts the
+// construction must satisfy regardless of machine or merge order:
+//
+//  1. Pointwise correctness: the envelope of f₀…f_{n−1} evaluated at any
+//     time equals min_i f_i(t) (Equation (1)).
+//  2. The Davenport–Schinzel size bound (Theorem 2.3): the envelope of n
+//     curves that pairwise intersect at most s times has at most λ(n, s)
+//     pieces — for distinct parabolas, λ(n, 2) = 2n − 1.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyncg/internal/curve"
+	"dyncg/internal/dsseq"
+	"dyncg/internal/machine"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+)
+
+// TestEnvelopePointwiseMin: the parallel envelope agrees with a direct
+// pointwise minimum of the input curves at randomly sampled times, on
+// both machine families, for random parabola sets of many sizes.
+func TestEnvelopePointwiseMin(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + r.Intn(24)
+		cs := make([]curve.Curve, n)
+		for i := range cs {
+			// Random upward parabolas: a ∈ (0.1, 2.1) keeps every pair at
+			// ≤ 2 intersections with s = 2 transversality generic.
+			cs[i] = curve.NewPoly(poly.New(
+				r.NormFloat64()*8, r.NormFloat64()*2, 0.1+2*r.Float64()))
+		}
+		for _, m := range []*machineCase{
+			{"mesh", newMesh(MeshPEs(n, 2))},
+			{"hypercube", newCube(CubePEs(n, 2))},
+		} {
+			env, err := EnvelopeOfCurves(m.m, cs, pieces.Min)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, m.name, err)
+			}
+			// The envelope of total curves must itself be total on [0, ∞).
+			if len(env) == 0 || env[0].Lo != 0 || !math.IsInf(env[len(env)-1].Hi, 1) {
+				t.Fatalf("trial %d %s: envelope does not cover [0, ∞): %v", trial, m.name, env)
+			}
+			for probe := 0; probe < 200; probe++ {
+				tm := sampleTime(r, env)
+				got, ok := env.Eval(tm)
+				if !ok {
+					t.Fatalf("trial %d %s: envelope undefined at t=%g", trial, m.name, tm)
+				}
+				want := math.Inf(1)
+				for _, c := range cs {
+					want = math.Min(want, c.Eval(tm))
+				}
+				// The envelope stores the generating curve, so values are
+				// exact except within float noise of a breakpoint, where
+				// either neighbouring curve is a valid generator.
+				if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+					t.Fatalf("trial %d %s: envelope(%g) = %g, pointwise min = %g",
+						trial, m.name, tm, got, want)
+				}
+			}
+		}
+	}
+}
+
+type machineCase struct {
+	name string
+	m    *machine.M
+}
+
+// sampleTime draws times that stress the envelope structure: mostly
+// uniform over the finite breakpoint range, sometimes exactly at a
+// breakpoint, sometimes far in the tail piece.
+func sampleTime(r *rand.Rand, env pieces.Piecewise) float64 {
+	last := env[len(env)-1].Lo
+	switch r.Intn(10) {
+	case 0:
+		return env[r.Intn(len(env))].Lo // exactly a breakpoint
+	case 1:
+		return last + 1 + r.Float64()*100 // deep in the final piece
+	default:
+		return r.Float64() * (last + 1)
+	}
+}
+
+// TestEnvelopeDavenportSchinzelBound: for n distinct parabolas (s = 2),
+// the envelope has at most λ(n, 2) = 2n − 1 pieces — Theorem 2.3's bound
+// that the whole machine-size analysis rests on. Runs both against
+// random parabolas and against the extremal lower-bound construction
+// that realises 2n − 1 exactly.
+func TestEnvelopeDavenportSchinzelBound(t *testing.T) {
+	r := rand.New(rand.NewSource(322))
+	check := func(name string, cs []curve.Curve) {
+		t.Helper()
+		n := len(cs)
+		bound := dsseq.Lambda(n, 2)
+		if bound != 2*n-1 {
+			t.Fatalf("λ(%d, 2) = %d, want %d", n, bound, 2*n-1)
+		}
+		for _, m := range []*machineCase{
+			{"mesh", newMesh(MeshPEs(n, 2))},
+			{"hypercube", newCube(CubePEs(n, 2))},
+		} {
+			env, err := EnvelopeOfCurves(m.m, cs, pieces.Min)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, m.name, err)
+			}
+			if len(env) > bound {
+				t.Fatalf("%s %s: envelope of %d parabolas has %d pieces > λ(n,2) = %d",
+					name, m.name, n, len(env), bound)
+			}
+		}
+	}
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.Intn(24)
+		cs := make([]curve.Curve, n)
+		for i := range cs {
+			cs[i] = curve.NewPoly(poly.New(
+				r.NormFloat64()*8, r.NormFloat64()*2, 0.1+2*r.Float64()))
+		}
+		check("random", cs)
+	}
+	// Extremal parabolas attain the bound: the envelope must have exactly
+	// 2n − 1 pieces, so the ≤ check above is tight, not vacuous.
+	for _, n := range []int{2, 4, 8} {
+		ps := dsseq.ExtremalParabolas(n)
+		cs := make([]curve.Curve, len(ps))
+		for i, p := range ps {
+			cs[i] = curve.NewPoly(p)
+		}
+		m := newCube(CubePEs(n, 2))
+		env, err := EnvelopeOfCurves(m, cs, pieces.Min)
+		if err != nil {
+			t.Fatalf("extremal n=%d: %v", n, err)
+		}
+		if len(env) != 2*n-1 {
+			t.Fatalf("extremal n=%d: %d pieces, want exactly %d", n, len(env), 2*n-1)
+		}
+		check("extremal", cs)
+	}
+}

@@ -1,0 +1,221 @@
+package pgeom
+
+// Oracle differential tests: the parallel geometry algorithms against
+// independent brute-force O(n²) oracles (and a gift-wrapping hull), on
+// dynamic instances — systems of moving points sampled at a dense grid
+// of times — across all four bundled topologies. The oracles share no
+// code with the algorithms under test beyond the primitive DistSq, so a
+// systematic error in the sort/envelope/antipodal machinery cannot
+// cancel out of the comparison.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dyncg/internal/ccc"
+	"dyncg/internal/dsseq"
+	"dyncg/internal/geom"
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/mesh"
+	"dyncg/internal/motion"
+	"dyncg/internal/ratfun"
+	"dyncg/internal/shuffle"
+)
+
+// oracleTopos builds one instance of each topology with ≥ pes PEs.
+func oracleTopos(pes int) map[string]machine.Topology {
+	out := map[string]machine.Topology{
+		"mesh":      mesh.MustNew(dsseq.NextPow4(pes), mesh.Proximity),
+		"hypercube": hypercube.MustNew(dsseq.NextPow2(pes)),
+	}
+	q := 0
+	for 1<<q < dsseq.NextPow2(pes) {
+		q++
+	}
+	out["shuffle"] = shuffle.MustNew(q)
+	for _, c := range []int{1, 2, 4, 8} {
+		if c*(1<<c) >= pes {
+			out["ccc"] = ccc.MustNew(c)
+			break
+		}
+	}
+	return out
+}
+
+// bruteClosestPair is the O(n²) closest-pair oracle.
+func bruteClosestPair(pts []geom.Point[ratfun.F64]) (a, b int, d2 ratfun.F64) {
+	a, b = -1, -1
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := geom.DistSq(pts[i], pts[j])
+			if a < 0 || d.Cmp(d2) < 0 {
+				a, b, d2 = i, j, d
+			}
+		}
+	}
+	return a, b, d2
+}
+
+// bruteDiameter is the O(n²) farthest-pair oracle.
+func bruteDiameter(pts []geom.Point[ratfun.F64]) (a, b int, d2 ratfun.F64) {
+	a, b = -1, -1
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := geom.DistSq(pts[i], pts[j])
+			if a < 0 || d.Cmp(d2) > 0 {
+				a, b, d2 = i, j, d
+			}
+		}
+	}
+	return a, b, d2
+}
+
+// jarvisHull is a gift-wrapping convex hull oracle: CCW vertex IDs
+// starting from the lexicographically smallest point. Independent of
+// both geom.Hull (monotone chain) and HullStatic (dual envelopes).
+func jarvisHull(pts []geom.Point[ratfun.F64]) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	for i := 1; i < n; i++ {
+		if pts[i].X < pts[start].X ||
+			(pts[i].X == pts[start].X && pts[i].Y < pts[start].Y) {
+			start = i
+		}
+	}
+	cross := func(o, p, q int) float64 {
+		return float64(pts[p].X-pts[o].X)*float64(pts[q].Y-pts[o].Y) -
+			float64(pts[p].Y-pts[o].Y)*float64(pts[q].X-pts[o].X)
+	}
+	distSq := func(o, p int) float64 {
+		dx, dy := float64(pts[p].X-pts[o].X), float64(pts[p].Y-pts[o].Y)
+		return dx*dx + dy*dy
+	}
+	var hull []int
+	cur := start
+	for {
+		hull = append(hull, pts[cur].ID)
+		next := -1
+		for cand := 0; cand < n; cand++ {
+			if cand == cur {
+				continue
+			}
+			if next < 0 {
+				next = cand
+				continue
+			}
+			c := cross(cur, next, cand)
+			// Pick the most counterclockwise candidate; on ties (collinear)
+			// the farther one, so collinear interior points never enter.
+			if c < 0 || (c == 0 && distSq(cur, cand) > distSq(cur, next)) {
+				next = cand
+			}
+		}
+		cur = next
+		if cur == start || len(hull) > n {
+			break
+		}
+	}
+	return hull
+}
+
+// requireCyclicEqual asserts got is a rotation of want (both CCW vertex
+// ID cycles).
+func requireCyclicEqual(t *testing.T, ctx string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: hull %v has %d vertices, oracle %v has %d",
+			ctx, got, len(got), want, len(want))
+	}
+	if len(want) == 0 {
+		return
+	}
+	start := -1
+	for i, id := range got {
+		if id == want[0] {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("%s: hull %v misses oracle vertex %d", ctx, got, want[0])
+	}
+	for i := range want {
+		if got[(start+i)%len(got)] != want[i] {
+			t.Fatalf("%s: hull %v is not a rotation of oracle %v", ctx, got, want)
+		}
+	}
+}
+
+// TestOracleDynamicGeometry samples random k-motion systems at a dense
+// time grid and checks closest pair, convex hull, and diameter against
+// the brute-force oracles on every topology.
+func TestOracleDynamicGeometry(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	times := []float64{0, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5}
+	for trial := 0; trial < 3; trial++ {
+		n := 8 + r.Intn(9) // 8..16 moving points
+		k := 1 + r.Intn(2) // degree 1..2 motion
+		sys := motion.Random(r, n, k, 2, 10)
+		topos := oracleTopos(8 * n)
+		for _, tm := range times {
+			// Static snapshot at time tm.
+			pts := make([]geom.Point[ratfun.F64], sys.N())
+			for i, p := range sys.Points {
+				pos := p.At(tm)
+				pts[i] = geom.Point[ratfun.F64]{
+					X: ratfun.F64(pos[0]), Y: ratfun.F64(pos[1]), ID: i,
+				}
+			}
+			wantHull := jarvisHull(pts)
+			_, _, wantCP := bruteClosestPair(pts)
+			_, _, wantDiam := bruteDiameter(pts)
+
+			for topoName, topo := range topos {
+				ctx := func(what string) string {
+					return fmt.Sprintf("%s trial %d t=%g %s", what, trial, tm, topoName)
+				}
+				// Closest pair: the reported distance must equal the oracle
+				// minimum, and the reported pair must realise it.
+				m := machine.New(topo)
+				ga, gb, gd := ClosestPair(m, pts)
+				if gd.Cmp(wantCP) != 0 {
+					t.Fatalf("%s: distance² %v != oracle %v", ctx("closest-pair"), gd, wantCP)
+				}
+				if d := geom.DistSq(pts[ga], pts[gb]); d.Cmp(gd) != 0 {
+					t.Fatalf("%s: pair (%d,%d) has distance² %v, reported %v",
+						ctx("closest-pair"), ga, gb, d, gd)
+				}
+
+				// Hull: CCW cycle identical to gift wrapping up to rotation.
+				m = machine.New(topo)
+				gotHull, err := HullStatic(m, pts)
+				if err != nil {
+					t.Fatalf("%s: %v", ctx("hull"), err)
+				}
+				requireCyclicEqual(t, ctx("hull"), gotHull, wantHull)
+
+				// Diameter: antipodal pairs over the hull must find the
+				// farthest pair of the whole set.
+				hullPts := make([]geom.Point[ratfun.F64], len(gotHull))
+				for i, id := range gotHull {
+					hullPts[i] = pts[id]
+				}
+				m = machine.New(topo)
+				gdiam, pair := Diameter(m, hullPts)
+				if gdiam.Cmp(wantDiam) != 0 {
+					t.Fatalf("%s: diameter² %v != oracle %v", ctx("diameter"), gdiam, wantDiam)
+				}
+				da, db := hullPts[pair[0]], hullPts[pair[1]]
+				if d := geom.DistSq(da, db); d.Cmp(gdiam) != 0 {
+					t.Fatalf("%s: antipodal pair (%d,%d) has distance² %v, reported %v",
+						ctx("diameter"), da.ID, db.ID, d, gdiam)
+				}
+			}
+		}
+	}
+}

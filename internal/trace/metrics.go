@@ -59,6 +59,11 @@ type PrimMetrics struct {
 	Calls int64
 	Total machine.Stats // sum of the spans' Self() costs
 	Times Hist          // histogram of per-span total (Delta) times
+	// Retries and Recoveries count fault rounds charged directly inside
+	// spans of this name (only populated when the tracer recorded rounds,
+	// i.e. WithRounds).
+	Retries    int64
+	Recoveries int64
 }
 
 // Metrics is an aggregate snapshot over a span tree.
@@ -83,6 +88,14 @@ func Collect(root *Span) *Metrics {
 		pm.Calls++
 		pm.Total = pm.Total.Add(s.Self())
 		pm.Times.Observe(s.Delta().Time())
+		for _, ri := range s.Rounds {
+			switch ri.Kind {
+			case machine.RoundRetry:
+				pm.Retries++
+			case machine.RoundRecovery:
+				pm.Recoveries++
+			}
+		}
 	})
 	return ms
 }
@@ -115,9 +128,13 @@ func (ms *Metrics) Write(w io.Writer) {
 		if total > 0 {
 			pct = 100 * float64(pm.Total.Time()) / float64(total)
 		}
-		fmt.Fprintf(w, "%-*s %6d %10d %6.1f%% %10d %10d %8d  %s\n",
+		faults := ""
+		if pm.Retries > 0 || pm.Recoveries > 0 {
+			faults = fmt.Sprintf("  [retries=%d recoveries=%d]", pm.Retries, pm.Recoveries)
+		}
+		fmt.Fprintf(w, "%-*s %6d %10d %6.1f%% %10d %10d %8d  %s%s\n",
 			nameW, pm.Name, pm.Calls, pm.Total.Time(), pct,
-			pm.Total.CommSteps, pm.Total.Messages, pm.Total.Rounds, pm.Times.String())
+			pm.Total.CommSteps, pm.Total.Messages, pm.Total.Rounds, pm.Times.String(), faults)
 	}
 	fmt.Fprintf(w, "%-*s %6s %10d %6.1f%% %10d %10d %8d\n",
 		nameW, "total", "", total, 100.0, ms.Root.CommSteps, ms.Root.Messages, ms.Root.Rounds)

@@ -17,6 +17,15 @@ fi
 echo "==> go vet"
 go vet ./...
 
+echo "==> staticcheck"
+# Optional locally (skipped when the binary is absent); CI installs it
+# and always runs this step.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping"
+fi
+
 echo "==> go build"
 go build ./...
 
@@ -24,10 +33,11 @@ echo "==> go test -race"
 go test -race ./...
 
 echo "==> coverage gate"
-# Total statement coverage measured at 72.5% when the gate was added
-# (PR 2); the floor leaves a little headroom for refactoring noise but
+# Total statement coverage measured at 76.8% when the fault-injection
+# layer and its test battery landed (72.5% when the gate was added in
+# PR 2); the floor leaves a little headroom for refactoring noise but
 # catches any wholesale loss of test coverage.
-floor=70.0
+floor=74.0
 go test -coverprofile=coverage.out ./... >/dev/null
 total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
 rm -f coverage.out
