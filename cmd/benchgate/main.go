@@ -1,0 +1,202 @@
+// Command benchgate converts `go test -bench -benchmem` output into the
+// committed BENCH_perf.json baseline and gates changes against it — the
+// regression half of the continuous benchmark harness driven by
+// scripts/bench.sh.
+//
+// Modes (both read benchmark output on stdin):
+//
+//	benchgate -out BENCH_perf.json     # parse and (re)write the baseline
+//	benchgate -check BENCH_perf.json   # compare against the baseline
+//
+// Gate tolerances. The three measurements regress in very different ways,
+// so each has its own gate, loosest where the noise is largest:
+//
+//   - allocs/op is deterministic for a fixed iteration count (the suite
+//     pins -benchtime 100x), so the gate is tight: FAIL when
+//     new > old·1.25 + 2. The +2 absorbs once-per-run warmup amortised
+//     over the fixed iterations; the factor flags any real reintroduction
+//     of per-call allocation.
+//
+//   - B/op is nearly deterministic but rounding and map growth wobble it:
+//     FAIL when new > old·1.5 + 512.
+//
+//   - ns/op is host- and load-dependent — shared CI runners routinely
+//     swing ±3× — so the gate only catches catastrophic regressions:
+//     FAIL when new > old·6. Trend tracking for real wall-clock work
+//     belongs on a quiet machine with the committed baseline refreshed
+//     deliberately (scripts/bench.sh with no flag).
+//
+// A benchmark present in the baseline but missing from stdin fails the
+// gate (a silently dropped benchmark would hide any regression); new
+// benchmarks not yet in the baseline are reported and pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. AllocsOp and BytesOp are −1
+// when the benchmark did not report memory statistics.
+type Result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Baseline is the committed BENCH_perf.json schema.
+type Baseline struct {
+	Note       string   `json:"note"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	outPath := flag.String("out", "", "write parsed results as a baseline JSON file")
+	checkPath := flag.String("check", "", "compare parsed results against this baseline JSON file")
+	benchtime := flag.String("benchtime", "100x", "benchtime the suite was run with (recorded in the baseline)")
+	flag.Parse()
+	if (*outPath == "") == (*checkPath == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -out or -check is required")
+		os.Exit(2)
+	}
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *outPath != "" {
+		b := Baseline{
+			Note:       "Pinned perf baseline for BenchmarkPerf*/; regenerate with scripts/bench.sh, gate with scripts/bench.sh -check.",
+			Benchtime:  *benchtime,
+			Benchmarks: results,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), *outPath)
+		return
+	}
+
+	data, err := os.ReadFile(*checkPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *checkPath, err)
+		os.Exit(2)
+	}
+	if gate(base, results) {
+		fmt.Println("benchgate: OK")
+		return
+	}
+	os.Exit(1)
+}
+
+// parse extracts Benchmark lines from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped so baselines compare across
+// machines with different core counts.
+func parse(f *os.File) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Name: name, BytesOp: -1, AllocsOp: -1}
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp = v
+			case "B/op":
+				r.BytesOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			}
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// gate compares current results against the baseline, printing one line
+// per problem; it returns true when everything passes.
+func gate(base Baseline, cur []Result) bool {
+	curBy := map[string]Result{}
+	for _, r := range cur {
+		curBy[r.Name] = r
+	}
+	baseNames := map[string]bool{}
+	ok := true
+	for _, old := range base.Benchmarks {
+		baseNames[old.Name] = true
+		now, found := curBy[old.Name]
+		if !found {
+			fmt.Printf("FAIL %s: present in baseline but not in this run\n", old.Name)
+			ok = false
+			continue
+		}
+		if old.AllocsOp >= 0 && now.AllocsOp > old.AllocsOp*1.25+2 {
+			fmt.Printf("FAIL %s: allocs/op %.1f exceeds baseline %.1f (gate: old*1.25+2)\n",
+				old.Name, now.AllocsOp, old.AllocsOp)
+			ok = false
+		}
+		if old.BytesOp >= 0 && now.BytesOp > old.BytesOp*1.5+512 {
+			fmt.Printf("FAIL %s: B/op %.0f exceeds baseline %.0f (gate: old*1.5+512)\n",
+				old.Name, now.BytesOp, old.BytesOp)
+			ok = false
+		}
+		if old.NsOp > 0 && now.NsOp > old.NsOp*6 {
+			fmt.Printf("FAIL %s: ns/op %.0f exceeds baseline %.0f by >6x (catastrophic gate)\n",
+				old.Name, now.NsOp, old.NsOp)
+			ok = false
+		}
+	}
+	for _, r := range cur {
+		if !baseNames[r.Name] {
+			fmt.Printf("note: %s not in baseline (new benchmark; refresh with scripts/bench.sh)\n", r.Name)
+		}
+	}
+	return ok
+}

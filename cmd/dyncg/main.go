@@ -25,6 +25,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,6 +61,8 @@ var (
 	parallel  = flag.Int("parallel", 0, "worker-pool size for per-PE loops (0 = serial, -1 = GOMAXPROCS); results are identical either way")
 	faults    = flag.String("faults", "", "fault spec, e.g. transient=0.05,retries=3,fail=1,gap=50 (empty = no faults)")
 	faultSeed = flag.Int64("fault-seed", 1, "fault schedule RNG seed (same seed = same schedule)")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProf   = flag.String("memprofile", "", "write a heap allocation profile to this file at exit (go tool pprof)")
 )
 
 // machineOpts translates -parallel into machine options.
@@ -107,6 +111,21 @@ func topoFor(points, s int) machine.Topology {
 
 func main() {
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			check(err)
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			check(pprof.WriteHeapProfile(f))
+		}()
+	}
 	r := rand.New(rand.NewSource(*seed))
 	var sys *motion.System
 	switch *workload {

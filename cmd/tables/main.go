@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dyncg/internal/core"
@@ -50,6 +52,8 @@ var (
 	parallel   = flag.Int("parallel", 0, "re-run every table cell with a worker pool of this size and record the serial-vs-parallel wall-clock speedup; simulated times must match exactly (0 = off)")
 	faultsFlag = flag.String("faults", "", "transient fault spec applied to every table cell, e.g. transient=0.02,retries=3; answers are unchanged, measured times grow (fail= is rejected here — permanent failures need the recovery harness, use cmd/dyncg)")
 	faultSeed  = flag.Int64("fault-seed", 1, "fault schedule RNG seed")
+	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProf    = flag.String("memprofile", "", "write a heap allocation profile to this file at exit (go tool pprof)")
 )
 
 // faultSpec is the parsed -faults value; each table machine gets its own
@@ -90,6 +94,32 @@ func main() {
 	faultSpec = spec
 	if !faultSpec.Zero() {
 		fmt.Printf("fault injection on every table cell: %s (seed %d)\n", faultSpec, *faultSeed)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+			}
+		}()
 	}
 	all := *tableFlag == 0 && *figureFlag == 0 && *compFlag == 0
 	if all || *figureFlag == 1 {

@@ -1,0 +1,118 @@
+package machine
+
+// Edge-case coverage for the routing primitives: shifts whose magnitude
+// leaves the block, register files with no occupied entries, and the
+// degenerate single-PE machine. These paths carry no data but must still
+// charge their rounds identically (a shift with nothing to move is still
+// one lock-step round in the simulated cost model).
+
+import (
+	"testing"
+
+	"dyncg/internal/hypercube"
+)
+
+func TestShiftWithinDeltaBeyondBlock(t *testing.T) {
+	m := New(hypercube.MustNew(16))
+	regs := make([]Reg[int], 16)
+	for i := range regs {
+		regs[i] = Some(i)
+	}
+	for _, delta := range []int{4, 5, 16, -4, -16} {
+		before := m.Stats()
+		out := ShiftWithin(m, regs, 4, delta) // |delta| ≥ block: nothing survives
+		after := m.Stats()
+		for i, r := range out {
+			if r.Ok {
+				t.Errorf("delta=%d: out[%d] occupied, want all-None (transfer left its block)", delta, i)
+			}
+		}
+		if after.Rounds != before.Rounds+1 {
+			t.Errorf("delta=%d: charged %d rounds, want exactly 1", delta, after.Rounds-before.Rounds)
+		}
+		if after.Messages != before.Messages {
+			t.Errorf("delta=%d: charged %d messages, want 0", delta, after.Messages-before.Messages)
+		}
+		PutScratch(m, out)
+	}
+}
+
+func TestShiftWithinAllNone(t *testing.T) {
+	m := New(hypercube.MustNew(8))
+	regs := make([]Reg[int], 8) // all None
+	before := m.Stats()
+	out := ShiftWithin(m, regs, 8, 1)
+	after := m.Stats()
+	for i, r := range out {
+		if r.Ok {
+			t.Errorf("out[%d] occupied, want all-None", i)
+		}
+	}
+	if after.Rounds != before.Rounds+1 || after.Messages != before.Messages {
+		t.Errorf("all-None shift: rounds+%d msgs+%d, want rounds+1 msgs+0",
+			after.Rounds-before.Rounds, after.Messages-before.Messages)
+	}
+	PutScratch(m, out)
+}
+
+func TestRouteAllNone(t *testing.T) {
+	m := New(hypercube.MustNew(8))
+	regs := make([]Reg[int], 8)
+	dest := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	before := m.Stats()
+	Route(m, regs, dest)
+	after := m.Stats()
+	for i, r := range regs {
+		if r.Ok {
+			t.Errorf("regs[%d] occupied after routing an empty file", i)
+		}
+	}
+	if after.Rounds != before.Rounds+1 || after.Messages != before.Messages {
+		t.Errorf("all-None route: rounds+%d msgs+%d, want rounds+1 msgs+0",
+			after.Rounds-before.Rounds, after.Messages-before.Messages)
+	}
+}
+
+func TestRouteDropAll(t *testing.T) {
+	m := New(hypercube.MustNew(4))
+	regs := []Reg[int]{Some(1), Some(2), Some(3), Some(4)}
+	Route(m, regs, []int{-1, -1, -1, -1})
+	for i, r := range regs {
+		if r.Ok {
+			t.Errorf("regs[%d] occupied, want dropped (dest −1)", i)
+		}
+	}
+}
+
+// TestSinglePEShiftRoute covers the n=1 cases of the routing primitives
+// (the general n=1 primitive sweep lives in machine_test.go).
+func TestSinglePEShiftRoute(t *testing.T) {
+	m := New(hypercube.MustNew(1))
+	regs := []Reg[int]{Some(42)}
+
+	out := ShiftWithin(m, regs, 1, 0) // self-shift: the value stays
+	if !out[0].Ok || out[0].V != 42 {
+		t.Errorf("n=1 self-shift: got %+v, want Some(42)", out[0])
+	}
+	PutScratch(m, out)
+
+	out = ShiftWithin(m, regs, 1, 1) // off the machine
+	if out[0].Ok {
+		t.Errorf("n=1 shift by 1: got %+v, want None", out[0])
+	}
+	PutScratch(m, out)
+
+	Route(m, regs, []int{0})
+	if !regs[0].Ok || regs[0].V != 42 {
+		t.Errorf("n=1 identity route: got %+v, want Some(42)", regs[0])
+	}
+
+	seg := WholeMachine(1)
+	Scan(m, regs, seg, Forward, intMin)
+	Semigroup(m, regs, seg, intMin)
+	Compact(m, regs, seg)
+	Sort(m, regs, intLess)
+	if !regs[0].Ok || regs[0].V != 42 {
+		t.Errorf("n=1 primitives disturbed the register: got %+v, want Some(42)", regs[0])
+	}
+}

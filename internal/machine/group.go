@@ -31,7 +31,7 @@ func Group[T any](m *M, data, queries []T, less func(a, b T) bool) []int {
 		query bool
 		idx   int
 	}
-	regs := make([]Reg[entry], n)
+	regs := GetScratch[Reg[entry]](m, n)
 	for i, v := range data {
 		regs[i] = Some(entry{v: v, idx: i})
 	}
@@ -51,14 +51,19 @@ func Group[T any](m *M, data, queries []T, less func(a, b T) bool) []int {
 		return a.idx < b.idx
 	})
 	// Parallel prefix: carry the most recent data index.
-	carry := make([]Reg[int], n)
+	carry := GetScratch[Reg[int]](m, n)
 	m.ChargeLocal(1)
 	for i := range regs {
 		if regs[i].Ok && !regs[i].V.query {
 			carry[i] = Some(regs[i].V.idx)
 		}
 	}
-	Scan(m, carry, WholeMachine(n), Forward, func(a, b int) int { return b })
+	seg := GetScratch[bool](m, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	Scan(m, carry, seg, Forward, func(a, b int) int { return b })
+	PutScratch(m, seg)
 	m.ChargeLocal(1)
 	pred := make([]int, len(queries))
 	for i := range pred {
@@ -69,5 +74,7 @@ func Group[T any](m *M, data, queries []T, less func(a, b T) bool) []int {
 			pred[regs[i].V.idx] = carry[i].V
 		}
 	}
+	PutScratch(m, carry)
+	PutScratch(m, regs)
 	return pred
 }

@@ -28,6 +28,7 @@ package machine
 import (
 	"fmt"
 	"math/bits"
+	"reflect"
 	"runtime"
 )
 
@@ -129,6 +130,8 @@ type M struct {
 
 	xorCost   map[int]int // bit → worst partner distance for i ⊕ 2^b
 	shiftCost map[int]int // offset → worst partner distance for i → i+off
+
+	scr arena // per-machine scratch-buffer pool (see arena.go)
 }
 
 // Option configures a machine at construction time.
@@ -150,7 +153,8 @@ func WithParallel(workers int) Option {
 // New wraps a topology in a machine with fresh counters.
 func New(t Topology, opts ...Option) *M {
 	m := &M{topo: t, n: t.Size(), workers: 1,
-		xorCost: map[int]int{}, shiftCost: map[int]int{}}
+		xorCost: map[int]int{}, shiftCost: map[int]int{},
+		scr: arena{pools: map[reflect.Type]any{}}}
 	for _, o := range opts {
 		o(m)
 	}
@@ -177,7 +181,15 @@ func (m *M) Stats() Stats { return m.st }
 // simulated timeline a tracer sees (spans opened before the Reset will
 // record an End snapshot smaller than their Begin), so attach tracers to
 // freshly reset machines.
-func (m *M) Reset() { m.st = Stats{} }
+//
+// Reset also starts a new scratch-arena generation: scratch buffers
+// parked before the Reset are released to the garbage collector rather
+// than reused (see arena.go), so a machine reused across independent
+// runs does not pin the previous run's peak scratch.
+func (m *M) Reset() {
+	m.st = Stats{}
+	m.scr.gen++
+}
 
 // xorRoundCost returns (and caches) the worst partner distance of a
 // bit-b XOR round. Topologies that memoise their own tables (RoundCoster)

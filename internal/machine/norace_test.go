@@ -1,0 +1,8 @@
+//go:build !race
+
+package machine
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which instruments every memory access and adds allocations of
+// its own — the AllocsPerRun budgets in alloc_test.go only hold without it.
+const raceEnabled = false

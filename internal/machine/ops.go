@@ -8,6 +8,15 @@ package machine
 // boolean segment-start mask; all segmented operations run in every
 // string simultaneously, as the paper requires ("there are multiple
 // strings in which the operations are to be performed in parallel").
+//
+// Allocation discipline: every primitive draws its O(n) scratch from the
+// machine's arena (arena.go) and releases it before returning, and each
+// per-PE round body is a named function — not a closure — invoked
+// directly on the serial path and wrapped in a closure only when the
+// worker-pool backend (WithParallel) shards it. A warm machine therefore
+// runs Scan/Spread/Semigroup/Sort/Compact/Route/ShiftWithin without
+// touching the heap at all (asserted by alloc_test.go, measured by
+// bench_perf_test.go).
 
 import (
 	"strconv"
@@ -31,6 +40,9 @@ func closeSpan(end func()) {
 		end()
 	}
 }
+
+// addInt is the shard-count combiner of every par.Reduce below.
+func addInt(a, b int) int { return a + b }
 
 // Reg is one PE's register: a value and a validity flag.
 type Reg[T any] struct {
@@ -74,15 +86,45 @@ const (
 	Backward                // suffixes
 )
 
+// scanRound is the per-PE body of one doubling round of Scan: PE i reads
+// only regs/fl (stable within the round) and writes only next[i] /
+// nextFl[i], so shards are disjoint.
+func scanRound[T any](regs, next []Reg[T], fl, nextFl []bool, off int, dir ScanDir, op func(a, b T) T, lo, hi int) int {
+	n := len(regs)
+	msgs := 0
+	for i := lo; i < hi; i++ {
+		var j int
+		if dir == Forward {
+			j = i - off
+		} else {
+			j = i + off
+		}
+		if j < 0 || j >= n || fl[i] {
+			continue
+		}
+		msgs++
+		next[i] = combine(regs[j], regs[i], dir, op)
+		nextFl[i] = fl[i] || fl[j]
+	}
+	return msgs
+}
+
 // Scan performs a segmented inclusive scan with the associative operation
 // op, in Θ(√n) mesh / Θ(log n) hypercube time (Table 1: parallel prefix).
 // Empty registers act as identity elements. The result is written in
 // place; each PE ends with the combined value of all items from its
 // segment boundary through itself.
+//
+// A nil op is the flood mode: when both registers are occupied the
+// neighbour's value wins, which spreads each segment's boundary value
+// across the segment. Spread, Semigroup, and Compact use it internally —
+// a named nil beats a func literal here because closures materialised
+// inside generic functions carry the instantiation dictionary and hence
+// heap-allocate per call, the only remaining allocation on these paths.
 func Scan[T any](m *M, regs []Reg[T], segStart []bool, dir ScanDir, op func(a, b T) T) {
 	defer closeSpan(pspan(m, "prefix", len(regs)))
 	n := len(regs)
-	fl := make([]bool, n)
+	fl := GetScratch[bool](m, n)
 	if dir == Forward {
 		copy(fl, segStart)
 	} else {
@@ -103,37 +145,29 @@ func Scan[T any](m *M, regs []Reg[T], segStart []bool, dir ScanDir, op func(a, b
 			maxSeg = run
 		}
 	}
-	next := make([]Reg[T], n)
-	nextFl := make([]bool, n)
-	for off := 1; off < maxSeg; off <<= 1 {
-		copy(next, regs)
-		copy(nextFl, fl)
-		// Per-PE round body: PE i reads only regs/fl (stable within the
-		// round) and writes only next[i]/nextFl[i], so shards are disjoint.
-		off, dir := off, dir
-		msgs := par.Reduce(m.workers, n, 0, func(lo, hi int) int {
-			msgs := 0
-			for i := lo; i < hi; i++ {
-				var j int
-				if dir == Forward {
-					j = i - off
-				} else {
-					j = i + off
-				}
-				if j < 0 || j >= n || fl[i] {
-					continue
-				}
-				msgs++
-				next[i] = combine(regs[j], regs[i], dir, op)
-				nextFl[i] = fl[i] || fl[j]
+	if maxSeg > 1 {
+		next := GetScratch[Reg[T]](m, n)
+		nextFl := GetScratch[bool](m, n)
+		for off := 1; off < maxSeg; off <<= 1 {
+			copy(next, regs)
+			copy(nextFl, fl)
+			var msgs int
+			if m.workers > 1 {
+				off := off
+				msgs = par.Reduce(m.workers, n, 0, func(lo, hi int) int {
+					return scanRound(regs, next, fl, nextFl, off, dir, op, lo, hi)
+				}, addInt)
+			} else {
+				msgs = scanRound(regs, next, fl, nextFl, off, dir, op, 0, n)
 			}
-			return msgs
-		}, func(a, b int) int { return a + b })
-		regs2 := regs
-		copy(regs2, next)
-		copy(fl, nextFl)
-		m.chargeShift(off, msgs)
+			copy(regs, next)
+			copy(fl, nextFl)
+			m.chargeShift(off, msgs)
+		}
+		PutScratch(m, nextFl)
+		PutScratch(m, next)
 	}
+	PutScratch(m, fl)
 }
 
 // combine merges a neighbour's partial result with the local one,
@@ -144,6 +178,8 @@ func combine[T any](neigh, local Reg[T], dir ScanDir, op func(a, b T) T) Reg[T] 
 		return local
 	case !local.Ok:
 		return neigh
+	case op == nil: // flood mode: occupied neighbour wins
+		return neigh
 	case dir == Forward:
 		return Some(op(neigh.V, local.V))
 	default:
@@ -153,28 +189,49 @@ func combine[T any](neigh, local Reg[T], dir ScanDir, op func(a, b T) T) Reg[T] 
 
 // --- Broadcast -------------------------------------------------------------
 
+// spreadFix resolves the two flood directions of Spread: prefer the
+// forward (leftward) source where both exist. PE i writes only regs[i].
+func spreadFix[T any](regs, fwd []Reg[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if fwd[i].Ok {
+			regs[i] = fwd[i]
+		}
+	}
+}
+
 // Spread gives every PE the value of the nearest occupied register within
 // its segment: marked items flood in both directions. With exactly one
 // marked item per string this is the broadcast operation of §2.6, costing
 // Θ(√n) mesh / Θ(log n) hypercube time.
 func Spread[T any](m *M, regs []Reg[T], segStart []bool) {
 	defer closeSpan(pspan(m, "broadcast", len(regs)))
-	fwd := make([]Reg[T], len(regs))
+	n := len(regs)
+	fwd := GetScratch[Reg[T]](m, n)
 	copy(fwd, regs)
-	keep := func(a, b T) T { return a }
-	Scan(m, fwd, segStart, Forward, keep)
-	keepR := func(a, b T) T { return b }
-	Scan(m, regs, segStart, Backward, keepR)
-	// Prefer the forward (leftward) source where both exist; any PE left
-	// empty by both passes has no occupied register in its segment.
+	Scan(m, fwd, segStart, Forward, nil)
+	Scan(m, regs, segStart, Backward, nil)
+	// Any PE left empty by both passes has no occupied register in its
+	// segment.
 	m.ChargeLocal(1)
-	par.ForEach(m.workers, len(regs), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if fwd[i].Ok {
-				regs[i] = fwd[i]
-			}
+	if m.workers > 1 {
+		par.ForEach(m.workers, n, func(lo, hi int) {
+			spreadFix(regs, fwd, lo, hi)
+		})
+	} else {
+		spreadFix(regs, fwd, 0, n)
+	}
+	PutScratch(m, fwd)
+}
+
+// markLast marks each segment's last PE with its register value. PE i
+// writes only marked[i].
+func markLast[T any](marked, regs []Reg[T], segStart []bool, lo, hi int) {
+	n := len(regs)
+	for i := lo; i < hi; i++ {
+		if i+1 >= n || segStart[i+1] {
+			marked[i] = regs[i]
 		}
-	})
+	}
 }
 
 // Semigroup applies the associative operation to all items of each
@@ -186,44 +243,55 @@ func Semigroup[T any](m *M, regs []Reg[T], segStart []bool, op func(a, b T) T) {
 	// Totals now sit at each segment's last occupied PE; flood them back.
 	n := len(regs)
 	m.ChargeLocal(1)
-	marked := make([]Reg[T], n)
-	par.ForEach(m.workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			lastOfSeg := i+1 >= n || segStart[i+1]
-			if lastOfSeg {
-				marked[i] = regs[i]
-			}
-		}
-	})
-	keepR := func(a, b T) T { return b }
-	Scan(m, marked, segStart, Backward, keepR)
+	marked := GetScratch[Reg[T]](m, n)
+	if m.workers > 1 {
+		par.ForEach(m.workers, n, func(lo, hi int) {
+			markLast(marked, regs, segStart, lo, hi)
+		})
+	} else {
+		markLast(marked, regs, segStart, 0, n)
+	}
+	Scan(m, marked, segStart, Backward, nil)
 	copy(regs, marked)
+	PutScratch(m, marked)
 }
 
 // --- Bitonic merge and sort ------------------------------------------------
 
-// compareExchange performs one lock-step compare-exchange round: every
-// PE pair (i, j = i ⊕ mask) orders its two items so the smaller lands on
-// the smaller index. Empty registers sort after occupied ones.
-func compareExchange[T any](m *M, regs []Reg[T], mask int, blockOf func(i int) int, less func(a, b T) bool) {
+// ceRound is the per-PE body of one compare-exchange round. Each index
+// belongs to exactly one pair (i, i ⊕ mask) and the pair is handled only
+// from its smaller index, so writes are disjoint across shards even when
+// a pair straddles a shard boundary.
+func ceRound[T any](regs []Reg[T], mask, block int, less func(a, b T) bool, lo, hi int) int {
 	n := len(regs)
-	// Each index belongs to exactly one pair (i, i ⊕ mask) and the pair is
-	// handled only from its smaller index, so writes are disjoint across
-	// shards even when a pair straddles a shard boundary.
-	msgs := par.Reduce(m.workers, n, 0, func(lo, hi int) int {
-		msgs := 0
-		for i := lo; i < hi; i++ {
-			j := i ^ mask
-			if j <= i || j >= n || blockOf(i) != blockOf(j) {
-				continue
-			}
-			msgs += 2
-			if regLess(regs[j], regs[i], less) {
-				regs[i], regs[j] = regs[j], regs[i]
-			}
+	msgs := 0
+	for i := lo; i < hi; i++ {
+		j := i ^ mask
+		if j <= i || j >= n || i/block != j/block {
+			continue
 		}
-		return msgs
-	}, func(a, b int) int { return a + b })
+		msgs += 2
+		if regLess(regs[j], regs[i], less) {
+			regs[i], regs[j] = regs[j], regs[i]
+		}
+	}
+	return msgs
+}
+
+// compareExchange performs one lock-step compare-exchange round: every
+// PE pair (i, j = i ⊕ mask) within an aligned block orders its two items
+// so the smaller lands on the smaller index. Empty registers sort after
+// occupied ones.
+func compareExchange[T any](m *M, regs []Reg[T], mask, block int, less func(a, b T) bool) {
+	n := len(regs)
+	var msgs int
+	if m.workers > 1 {
+		msgs = par.Reduce(m.workers, n, 0, func(lo, hi int) int {
+			return ceRound(regs, mask, block, less, lo, hi)
+		}, addInt)
+	} else {
+		msgs = ceRound(regs, mask, block, less, 0, n)
+	}
 	// Charge by the highest bit of the mask: the partner distance of a
 	// multi-bit mask is bounded by (and realised at) its top bit under
 	// both topologies' locality properties.
@@ -254,13 +322,12 @@ func MergeBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) 
 		return
 	}
 	defer closeSpan(pspan(m, "merge", block))
-	blockOf := func(i int) int { return i / block }
 	// First stage: compare i with its mirror in the block (i ⊕ (block−1)),
 	// which turns ascending+ascending into two half-blocks each bitonic
 	// and correctly split; the remaining stages are half-cleaners.
-	compareExchange(m, regs, block-1, blockOf, less)
+	compareExchange(m, regs, block-1, block, less)
 	for mask := block / 4; mask >= 1; mask /= 2 {
-		compareExchange(m, regs, mask, blockOf, less)
+		compareExchange(m, regs, mask, block, less)
 	}
 }
 
@@ -282,6 +349,28 @@ func Sort[T any](m *M, regs []Reg[T], less func(a, b T) bool) {
 
 // --- Routing-based operations ----------------------------------------------
 
+// rankOccupied writes each PE's occupancy count (0/1) for the rank
+// prefix of Compact. PE i writes only counts[i].
+func rankOccupied[T any](counts []Reg[int], regs []Reg[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c := 0
+		if regs[i].Ok {
+			c = 1
+		}
+		counts[i] = Some(c)
+	}
+}
+
+// markSegBase records each segment start's own index. PE i writes only
+// segBase[i].
+func markSegBase(segBase []Reg[int], segStart []bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if segStart[i] {
+			segBase[i] = Some(i)
+		}
+	}
+}
+
 // Compact moves the occupied registers of each segment to the front of
 // the segment, preserving order: a parallel-prefix rank computation plus
 // one structured route (the "pack into a string" step used throughout
@@ -290,30 +379,29 @@ func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
 	defer closeSpan(pspan(m, "compact", len(regs)))
 	n := len(regs)
 	// Rank each occupied register within its segment (exclusive count).
-	counts := make([]Reg[int], n)
+	counts := GetScratch[Reg[int]](m, n)
 	m.ChargeLocal(1)
-	par.ForEach(m.workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c := 0
-			if regs[i].Ok {
-				c = 1
-			}
-			counts[i] = Some(c)
-		}
-	})
-	Scan(m, counts, segStart, Forward, func(a, b int) int { return a + b })
-	segBase := make([]Reg[int], n)
+	if m.workers > 1 {
+		par.ForEach(m.workers, n, func(lo, hi int) {
+			rankOccupied(counts, regs, lo, hi)
+		})
+	} else {
+		rankOccupied(counts, regs, 0, n)
+	}
+	Scan(m, counts, segStart, Forward, addInt)
+	segBase := GetScratch[Reg[int]](m, n)
 	m.ChargeLocal(1)
-	par.ForEach(m.workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if segStart[i] {
-				segBase[i] = Some(i)
-			}
-		}
-	})
-	Scan(m, segBase, segStart, Forward, func(a, b int) int { return a })
-	var src, dst []int
-	out := make([]Reg[T], n)
+	if m.workers > 1 {
+		par.ForEach(m.workers, n, func(lo, hi int) {
+			markSegBase(segBase, segStart, lo, hi)
+		})
+	} else {
+		markSegBase(segBase, segStart, 0, n)
+	}
+	Scan(m, segBase, segStart, Forward, nil)
+	out := GetScratch[Reg[T]](m, n)
+	src := GetScratch[int](m, n)[:0]
+	dst := GetScratch[int](m, n)[:0]
 	for i := range regs {
 		if !regs[i].Ok {
 			continue
@@ -325,6 +413,11 @@ func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
 	}
 	m.ChargeRoute(src, dst)
 	copy(regs, out)
+	PutScratch(m, dst)
+	PutScratch(m, src)
+	PutScratch(m, out)
+	PutScratch(m, segBase)
+	PutScratch(m, counts)
 }
 
 // Route moves item i to dest[i] (−1 to drop). dest must be injective.
@@ -333,8 +426,9 @@ func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
 func Route[T any](m *M, regs []Reg[T], dest []int) {
 	defer closeSpan(pspan(m, "route", len(regs)))
 	n := len(regs)
-	out := make([]Reg[T], n)
-	var src, dst []int
+	out := GetScratch[Reg[T]](m, n)
+	src := GetScratch[int](m, n)[:0]
+	dst := GetScratch[int](m, n)[:0]
 	for i := range regs {
 		if !regs[i].Ok || dest[i] < 0 {
 			continue
@@ -348,27 +442,44 @@ func Route[T any](m *M, regs []Reg[T], dest []int) {
 	}
 	m.ChargeRoute(src, dst)
 	copy(regs, out)
+	PutScratch(m, dst)
+	PutScratch(m, src)
+	PutScratch(m, out)
+}
+
+// shiftRound is the per-PE body of ShiftWithin: PE i writes only out[i];
+// regs is read-only for the round.
+func shiftRound[T any](out, regs []Reg[T], block, delta, lo, hi int) int {
+	n := len(regs)
+	msgs := 0
+	for i := lo; i < hi; i++ {
+		j := i - delta // the PE whose value lands here
+		if j < 0 || j >= n || j/block != i/block || !regs[j].Ok {
+			continue
+		}
+		out[i] = regs[j]
+		msgs++
+	}
+	return msgs
 }
 
 // ShiftWithin returns what each PE receives when every PE sends its
 // register to PE i+delta, with transfers confined to aligned blocks of
-// the given size (one shift communication round).
+// the given size (one shift communication round). The result is drawn
+// from the machine's scratch arena: callers that are done with it may
+// release it with PutScratch to keep the enclosing loop allocation-free
+// (or simply drop it — an unreleased buffer is garbage-collected).
 func ShiftWithin[T any](m *M, regs []Reg[T], block, delta int) []Reg[T] {
 	n := len(regs)
-	out := make([]Reg[T], n)
-	// PE i writes only out[i]; regs is read-only for the round.
-	msgs := par.Reduce(m.workers, n, 0, func(lo, hi int) int {
-		msgs := 0
-		for i := lo; i < hi; i++ {
-			j := i - delta // the PE whose value lands here
-			if j < 0 || j >= n || j/block != i/block || !regs[j].Ok {
-				continue
-			}
-			out[i] = regs[j]
-			msgs++
-		}
-		return msgs
-	}, func(a, b int) int { return a + b })
+	out := GetScratch[Reg[T]](m, n)
+	var msgs int
+	if m.workers > 1 {
+		msgs = par.Reduce(m.workers, n, 0, func(lo, hi int) int {
+			return shiftRound(out, regs, block, delta, lo, hi)
+		}, addInt)
+	} else {
+		msgs = shiftRound(out, regs, block, delta, 0, n)
+	}
 	m.chargeShift(delta, msgs)
 	return out
 }

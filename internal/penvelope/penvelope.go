@@ -104,7 +104,8 @@ func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Pie
 	}
 	// Spread the inputs: function i's pieces at PEs i·stride, i·stride+1, …
 	// (Step 1 of Theorem 3.2: split the descriptions evenly).
-	regs := make([]machine.Reg[envReg], N)
+	regs := machine.GetScratch[machine.Reg[envReg]](m, N)
+	defer machine.PutScratch(m, regs)
 	for i, f := range fs {
 		for j, p := range f {
 			regs[i*stride+j] = machine.Some(envReg{p: p})
@@ -171,8 +172,11 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	})
 	// Step 3: parallel prefix gives every PE the latest piece of each
 	// side starting at or before its own (the other-piece field).
-	seg := machine.BlockSegments(N, block)
-	seen := make([]machine.Reg[lastSeen], N)
+	seg := machine.GetScratch[bool](m, N)
+	for i := 0; i < N; i += block {
+		seg[i] = true
+	}
+	seen := machine.GetScratch[machine.Reg[lastSeen]](m, N)
 	m.ChargeLocal(1)
 	par.ForEach(m.Workers(), N, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -198,7 +202,7 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	// isolation on one pair of bounded-degree curves plus sample
 	// comparisons on ≤ s+1 subintervals).
 	m.ChargeLocal(1)
-	emitted := make([][]pieces.Piece, N)
+	emitted := machine.GetScratch[[]pieces.Piece](m, N)
 	// The window computation (root isolation on a pair of curves) is pure
 	// and writes only emitted[i], so PEs shard freely; maxEmit is an
 	// order-independent max reduction.
@@ -238,13 +242,13 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	})
 	// Pack the emitted subpieces: rank by parallel prefix, then maxEmit
 	// structured routes (each PE holds Θ(1) subpieces).
-	counts := make([]machine.Reg[int], N)
+	counts := machine.GetScratch[machine.Reg[int]](m, N)
 	m.ChargeLocal(1)
 	for i := range counts {
 		counts[i] = machine.Some(len(emitted[i]))
 	}
 	machine.Scan(m, counts, seg, machine.Forward, func(a, b int) int { return a + b })
-	out := make([]machine.Reg[envReg], N)
+	out := machine.GetScratch[machine.Reg[envReg]](m, N)
 	for i := range regs {
 		if len(emitted[i]) == 0 {
 			continue
@@ -257,10 +261,11 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 			out[base+j] = machine.Some(envReg{p: p})
 		}
 	}
+	srcBuf := machine.GetScratch[int](m, N)
+	dstBuf := machine.GetScratch[int](m, N)
 	for j := 0; j < maxEmit; j++ {
 		// Each of the ≤ maxEmit rounds is one structured route.
-		src := make([]int, 0, N)
-		dst := make([]int, 0, N)
+		src, dst := srcBuf[:0], dstBuf[:0]
 		for i := range regs {
 			if j < len(emitted[i]) {
 				src = append(src, i)
@@ -270,6 +275,18 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 		m.ChargeRoute(src, dst)
 	}
 	copy(regs, out)
+	// Release this level's scratch before recursing into Step 6. The
+	// emitted buffer still holds per-PE subpiece slices (heap values from
+	// window); clear it so the parked buffer does not pin them.
+	clear(emitted)
+	machine.PutScratch(m, dstBuf)
+	machine.PutScratch(m, srcBuf)
+	machine.PutScratch(m, out)
+	machine.PutScratch(m, counts)
+	machine.PutScratch(m, emitted)
+	machine.PutScratch(m, next)
+	machine.PutScratch(m, seen)
+	machine.PutScratch(m, seg)
 	// Step 6: combine adjacent subpieces with the same generating
 	// function (runs), using a prefix within runs.
 	return combineRuns(m, regs, block)
@@ -284,7 +301,7 @@ func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
 	}
 	N := len(regs)
 	prev := machine.ShiftWithin(m, regs, block, +1) // prev[i] = regs[i-1]
-	runStart := make([]bool, N)
+	runStart := machine.GetScratch[bool](m, N)
 	m.ChargeLocal(1)
 	par.ForEach(m.Workers(), N, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -300,14 +317,16 @@ func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
 			runStart[i] = !(a.ID == b.ID && a.Hi == b.Lo)
 		}
 	})
-	// Bring each run's final Hi to its head.
-	his := make([]machine.Reg[float64], N)
+	machine.PutScratch(m, prev)
+	// Bring each run's final Hi to its head: a backward flood (nil op)
+	// within runs.
+	his := machine.GetScratch[machine.Reg[float64]](m, N)
 	for i := range regs {
 		if regs[i].Ok {
 			his[i] = machine.Some(regs[i].V.p.Hi)
 		}
 	}
-	machine.Scan(m, his, runStart, machine.Backward, func(a, b float64) float64 { return b })
+	machine.Scan(m, his, runStart, machine.Backward, nil)
 	m.ChargeLocal(1)
 	for i := range regs {
 		if !regs[i].Ok {
@@ -321,7 +340,14 @@ func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
 			regs[i] = machine.None[envReg]()
 		}
 	}
-	machine.Compact(m, regs, machine.BlockSegments(N, block))
+	machine.PutScratch(m, his)
+	seg := machine.GetScratch[bool](m, N)
+	for i := 0; i < N; i += block {
+		seg[i] = true
+	}
+	machine.Compact(m, regs, seg)
+	machine.PutScratch(m, seg)
+	machine.PutScratch(m, runStart)
 	return nil
 }
 

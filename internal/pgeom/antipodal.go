@@ -36,7 +36,8 @@ func sectorOwners[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T], queries 
 	if h+len(queries) > n {
 		panic("pgeom: machine too small for sector grouping")
 	}
-	entries := make([]machine.Reg[entry], n)
+	entries := machine.GetScratch[machine.Reg[entry]](m, n)
+	defer machine.PutScratch(m, entries)
 	for j := 0; j < h; j++ {
 		e := hull[(j+1)%h].Sub(hull[j]) // direction of edge j
 		entries[j] = machine.Some(entry{dir: e, boundary: true, owner: (j + 1) % h, qIdx: -1})
@@ -61,15 +62,21 @@ func sectorOwners[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T], queries 
 		owner int
 		dir   geom.Point[T]
 	}
-	lastB := make([]machine.Reg[seen], n)
+	lastB := machine.GetScratch[machine.Reg[seen]](m, n)
+	defer machine.PutScratch(m, lastB)
 	m.ChargeLocal(1)
 	for i := range entries {
 		if entries[i].Ok && entries[i].V.boundary {
 			lastB[i] = machine.Some(seen{owner: entries[i].V.owner, dir: entries[i].V.dir})
 		}
 	}
-	machine.Scan(m, lastB, machine.WholeMachine(n), machine.Forward,
+	seg := machine.GetScratch[bool](m, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Scan(m, lastB, seg, machine.Forward,
 		func(a, b seen) seen { return b })
+	machine.PutScratch(m, seg)
 	// Circular wrap: queries before the first boundary belong to the
 	// globally last boundary's sector (one semigroup/broadcast).
 	var wrap machine.Reg[seen]
@@ -164,7 +171,8 @@ func Diameter[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) (T, [2]int) 
 		pair [2]int
 	}
 	n := m.Size()
-	regs := make([]machine.Reg[cand], n)
+	regs := machine.GetScratch[machine.Reg[cand]](m, n)
+	defer machine.PutScratch(m, regs)
 	m.ChargeLocal(1)
 	for i, p := range pairs {
 		// ≤ 4 pairs per PE in the Lemma 5.5 layout; the simulator stores
@@ -176,12 +184,17 @@ func Diameter[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) (T, [2]int) 
 			regs[at] = machine.Some(c)
 		}
 	}
-	machine.Semigroup(m, regs, machine.WholeMachine(n), func(a, b cand) cand {
+	seg := machine.GetScratch[bool](m, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Semigroup(m, regs, seg, func(a, b cand) cand {
 		if a.d.Cmp(b.d) >= 0 {
 			return a
 		}
 		return b
 	})
+	machine.PutScratch(m, seg)
 	for i := range regs {
 		if regs[i].Ok {
 			return regs[i].V.d, regs[i].V.pair
@@ -233,7 +246,8 @@ func MinAreaRect[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) geom.Rect
 		p2   int // support vertex in −e⊥
 	}
 	n := m.Size()
-	regs := make([]machine.Reg[cand], n)
+	regs := machine.GetScratch[machine.Reg[cand]](m, n)
+	defer machine.PutScratch(m, regs)
 	m.ChargeLocal(1)
 	for j := 0; j < h; j++ {
 		far := owners[3*j]
@@ -264,12 +278,17 @@ func MinAreaRect[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T]) geom.Rect
 		area := prMax.Sub(prMin).Mul(height).Div(uu)
 		regs[j] = machine.Some(cand{area: area, edge: j, far: far[0], p1: o1[0], p2: o2[0]})
 	}
-	machine.Semigroup(m, regs, machine.WholeMachine(n), func(a, b cand) cand {
+	seg := machine.GetScratch[bool](m, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Semigroup(m, regs, seg, func(a, b cand) cand {
 		if a.area.Cmp(b.area) <= 0 {
 			return a
 		}
 		return b
 	})
+	machine.PutScratch(m, seg)
 	var win cand
 	found := false
 	for i := range regs {

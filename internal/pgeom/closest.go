@@ -63,9 +63,11 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 	}
 	byX := machine.Scatter(n, tagged)
 	machine.Sort(m, byX, lessX)
-	byY := make([]machine.Reg[geom.Point[T]], n)
+	byY := machine.GetScratch[machine.Reg[geom.Point[T]]](m, n)
+	defer machine.PutScratch(m, byY)
 	copy(byY, byX) // blocks of size 1 are trivially y-sorted
-	best := make([]machine.Reg[pairCand[T]], n)
+	best := machine.GetScratch[machine.Reg[pairCand[T]]](m, n)
+	defer machine.PutScratch(m, best)
 
 	minPair := func(x, y pairCand[T]) pairCand[T] {
 		if x.d.Cmp(y.d) <= 0 {
@@ -74,15 +76,36 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		return y
 	}
 
+	// Per-level scratch: one set of buffers checked out for the whole
+	// divide-and-conquer, refilled each level.
+	seg := machine.GetScratch[bool](m, n)
+	defer machine.PutScratch(m, seg)
+	half := machine.GetScratch[bool](m, n)
+	defer machine.PutScratch(m, half)
+	xs := machine.GetScratch[machine.Reg[T]](m, n)
+	defer machine.PutScratch(m, xs)
+	split := machine.GetScratch[machine.Reg[T]](m, n)
+	defer machine.PutScratch(m, split)
+	delta := machine.GetScratch[machine.Reg[pairCand[T]]](m, n)
+	defer machine.PutScratch(m, delta)
+	strip := machine.GetScratch[machine.Reg[geom.Point[T]]](m, n)
+	defer machine.PutScratch(m, strip)
+
 	for block := 2; block <= n; block *= 2 {
-		seg := machine.BlockSegments(n, block)
-		half := machine.BlockSegments(n, block/2)
+		clear(seg)
+		clear(half)
+		for i := 0; i < n; i += block {
+			seg[i] = true
+		}
+		for i := 0; i < n; i += block / 2 {
+			half[i] = true
+		}
 
 		// Maintain the y-sorted invariant.
 		machine.MergeBlocks(m, byY, block, lessY)
 
 		// Split abscissa: max X over each left half-block, spread right.
-		xs := make([]machine.Reg[T], n)
+		clear(xs)
 		m.ChargeLocal(1)
 		par.ForEach(m.Workers(), n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -97,7 +120,7 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 			}
 			return q
 		})
-		split := make([]machine.Reg[T], n)
+		clear(split)
 		m.ChargeLocal(1)
 		par.ForEach(m.Workers(), n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -109,12 +132,11 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		machine.Spread(m, split, seg)
 
 		// Block δ so far (exact within each half, by induction).
-		delta := make([]machine.Reg[pairCand[T]], n)
 		copy(delta, best)
 		machine.Semigroup(m, delta, seg, minPair)
 
 		// Strip membership and compaction.
-		strip := make([]machine.Reg[geom.Point[T]], n)
+		clear(strip)
 		m.ChargeLocal(1)
 		par.ForEach(m.Workers(), n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -130,10 +152,17 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 		})
 		machine.Compact(m, strip, seg)
 
-		// Compare each strip point with its ≤ 7 successors.
+		// Compare each strip point with its ≤ 7 successors. Each shift
+		// draws a fresh arena buffer; the previous one is released as
+		// soon as the next supersedes it (strip itself stays checked out
+		// for the whole level).
 		cur := strip
 		for k := 0; k < 7; k++ {
-			cur = machine.ShiftWithin(m, cur, block, -1)
+			next := machine.ShiftWithin(m, cur, block, -1)
+			if k > 0 {
+				machine.PutScratch(m, cur)
+			}
+			cur = next
 			m.ChargeLocal(1)
 			cur := cur
 			par.ForEach(m.Workers(), n, func(lo, hi int) {
@@ -149,8 +178,13 @@ func ClosestPair[T ratfun.Real[T]](m *machine.M, pts []geom.Point[T]) (a, b int,
 				}
 			})
 		}
+		machine.PutScratch(m, cur)
 	}
-	machine.Semigroup(m, best, machine.WholeMachine(n), minPair)
+	clear(seg)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Semigroup(m, best, seg, minPair)
 	for i := range best {
 		if best[i].Ok {
 			return best[i].V.a, best[i].V.b, best[i].V.d

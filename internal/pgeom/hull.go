@@ -109,7 +109,11 @@ func HullStatic(m *machine.M, pts []geom.Point[ratfun.F64]) ([]int, error) {
 // round.
 func dedupe(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F64] {
 	n := m.Size()
-	regs := machine.Scatter(n, pts)
+	regs := machine.GetScratch[machine.Reg[geom.Point[ratfun.F64]]](m, n)
+	defer machine.PutScratch(m, regs)
+	for i, p := range pts {
+		regs[i] = machine.Some(p)
+	}
 	machine.Sort(m, regs, func(a, b geom.Point[ratfun.F64]) bool {
 		if a.X != b.X {
 			return a.X < b.X
@@ -129,7 +133,13 @@ func dedupe(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F64]
 			}
 		}
 	})
-	machine.Compact(m, regs, machine.WholeMachine(n))
+	machine.PutScratch(m, prev)
+	seg := machine.GetScratch[bool](m, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Compact(m, regs, seg)
+	machine.PutScratch(m, seg)
 	return machine.Gather(regs)
 }
 
@@ -157,20 +167,25 @@ func normalize(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F
 	})
 	pts = rotated
 	n := m.Size()
-	type box struct{ minX, maxX, minY, maxY float64 }
-	regs := make([]machine.Reg[box], n)
+	regs := machine.GetScratch[machine.Reg[bbox]](m, n)
+	defer machine.PutScratch(m, regs)
 	m.ChargeLocal(1)
 	for i, p := range pts {
 		x, y := float64(p.X), float64(p.Y)
-		regs[i] = machine.Some(box{x, x, y, y})
+		regs[i] = machine.Some(bbox{x, x, y, y})
 	}
-	machine.Semigroup(m, regs, machine.WholeMachine(n), func(a, b box) box {
-		return box{
+	seg := machine.GetScratch[bool](m, n)
+	defer machine.PutScratch(m, seg)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Semigroup(m, regs, seg, func(a, b bbox) bbox {
+		return bbox{
 			minX: math.Min(a.minX, b.minX), maxX: math.Max(a.maxX, b.maxX),
 			minY: math.Min(a.minY, b.minY), maxY: math.Max(a.maxY, b.maxY),
 		}
 	})
-	var bb box
+	var bb bbox
 	for i := range regs {
 		if regs[i].Ok {
 			bb = regs[i].V
@@ -196,11 +211,18 @@ func normalize(m *machine.M, pts []geom.Point[ratfun.F64]) []geom.Point[ratfun.F
 	return out
 }
 
+// bbox is the bounding-box accumulator of normalize's semigroup.
+type bbox struct{ minX, maxX, minY, maxY float64 }
+
 // slopeBound returns 1 + the maximum |slope| between consecutive x-sorted
 // points (which bounds every pairwise slope).
 func slopeBound(m *machine.M, pts []geom.Point[ratfun.F64]) float64 {
 	n := m.Size()
-	regs := machine.Scatter(n, pts)
+	regs := machine.GetScratch[machine.Reg[geom.Point[ratfun.F64]]](m, n)
+	defer machine.PutScratch(m, regs)
+	for i, p := range pts {
+		regs[i] = machine.Some(p)
+	}
 	machine.Sort(m, regs, func(a, b geom.Point[ratfun.F64]) bool {
 		if a.X != b.X {
 			return a.X < b.X
@@ -208,7 +230,8 @@ func slopeBound(m *machine.M, pts []geom.Point[ratfun.F64]) float64 {
 		return a.Y < b.Y
 	})
 	prev := machine.ShiftWithin(m, regs, n, +1)
-	slopes := make([]machine.Reg[float64], n)
+	slopes := machine.GetScratch[machine.Reg[float64]](m, n)
+	defer machine.PutScratch(m, slopes)
 	m.ChargeLocal(1)
 	par.ForEach(m.Workers(), n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -227,7 +250,13 @@ func slopeBound(m *machine.M, pts []geom.Point[ratfun.F64]) float64 {
 			slopes[i] = machine.Some(math.Abs(dy / dx))
 		}
 	})
-	machine.Semigroup(m, slopes, machine.WholeMachine(n), math.Max)
+	machine.PutScratch(m, prev)
+	seg := machine.GetScratch[bool](m, n)
+	defer machine.PutScratch(m, seg)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Semigroup(m, slopes, seg, math.Max)
 	best := 1.0
 	for i := range slopes {
 		if slopes[i].Ok && slopes[i].V+1 > best {
@@ -358,13 +387,14 @@ func verifySteadyHull(m *machine.M, pts []geom.Point[ratfun.RatFun], cand []int)
 		ptIdx    int // for queries: index into pts
 	}
 	n := m.Size()
-	entries := make([]machine.Reg[entry], n)
 	if h+len(pts) > n {
 		// Not enough PEs to co-locate boundaries and queries; the callers
 		// size machines at Θ(n) with constant slack, so treat as failure
 		// of the probe (forces the serial fallback path eventually).
 		return verifySteadySerial(pts, cand, o), 0
 	}
+	entries := machine.GetScratch[machine.Reg[entry]](m, n)
+	defer machine.PutScratch(m, entries)
 	for i := 0; i < h; i++ {
 		entries[i] = machine.Some(entry{
 			dir: pts[cand[i]].Sub(o), boundary: true, hullPos: i, ptIdx: -1,
@@ -385,15 +415,21 @@ func verifySteadyHull(m *machine.M, pts []geom.Point[ratfun.RatFun], cand []int)
 		return false
 	})
 	// Forward scan: latest boundary position; wrap via global last.
-	lastB := make([]machine.Reg[int], n)
+	lastB := machine.GetScratch[machine.Reg[int]](m, n)
+	defer machine.PutScratch(m, lastB)
 	m.ChargeLocal(1)
 	for i := range entries {
 		if entries[i].Ok && entries[i].V.boundary {
 			lastB[i] = machine.Some(entries[i].V.hullPos)
 		}
 	}
-	machine.Scan(m, lastB, machine.WholeMachine(n), machine.Forward,
+	seg := machine.GetScratch[bool](m, n)
+	if n > 0 {
+		seg[0] = true
+	}
+	machine.Scan(m, lastB, seg, machine.Forward,
 		func(a, b int) int { return b })
+	machine.PutScratch(m, seg)
 	globalLast := machine.Some(-1)
 	for i := n - 1; i >= 0; i-- {
 		if lastB[i].Ok {

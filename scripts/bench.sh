@@ -1,0 +1,41 @@
+#!/bin/sh
+# Continuous benchmark harness for the simulator's hot paths.
+#
+#   scripts/bench.sh          run the pinned suite and refresh BENCH_perf.json
+#   scripts/bench.sh -check   run the pinned suite and gate it against the
+#                             committed BENCH_perf.json (CI: bench-smoke)
+#
+# The suite is BenchmarkPerf*/ in bench_perf_test.go: every Table-1
+# primitive x topology x n plus a composite grouping workload, measured
+# with -benchmem in steady state on a warm machine. The iteration count is
+# pinned (-benchtime 100x) so allocs/op is deterministic and comparable
+# across hosts; cmd/benchgate documents the per-metric gate tolerances
+# (allocs/op tight, B/op medium, ns/op catastrophic-only — shared runners
+# are too noisy for a wall-clock trend gate).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime=${BENCH_TIME:-100x}
+mode=${1:-refresh}
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "==> go test -bench BenchmarkPerf -benchtime $benchtime -benchmem"
+go test -run '^$' -bench 'BenchmarkPerf' -benchtime "$benchtime" -benchmem . | tee "$out"
+
+case "$mode" in
+-check)
+    echo "==> benchgate -check BENCH_perf.json"
+    go run ./cmd/benchgate -check BENCH_perf.json < "$out"
+    ;;
+refresh)
+    echo "==> benchgate -out BENCH_perf.json"
+    go run ./cmd/benchgate -out BENCH_perf.json -benchtime "$benchtime" < "$out"
+    ;;
+*)
+    echo "usage: scripts/bench.sh [-check]" >&2
+    exit 2
+    ;;
+esac
