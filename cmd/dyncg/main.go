@@ -30,18 +30,14 @@ import (
 	"strconv"
 	"strings"
 
-	"dyncg/internal/ccc"
+	"dyncg"
 	"dyncg/internal/core"
-	"dyncg/internal/dsseq"
 	"dyncg/internal/fault"
-	"dyncg/internal/hypercube"
 	"dyncg/internal/machine"
-	"dyncg/internal/mesh"
 	"dyncg/internal/motion"
 	"dyncg/internal/penvelope"
 	"dyncg/internal/pieces"
 	"dyncg/internal/poly"
-	"dyncg/internal/shuffle"
 	"dyncg/internal/trace"
 )
 
@@ -73,38 +69,22 @@ func machineOpts() []machine.Option {
 	return []machine.Option{machine.WithParallel(*parallel)}
 }
 
-// topoOf returns a topology of the requested family with at least pes
-// PEs (the Θ(n)-PE algorithms: Theorem 4.2 and all of §5).
+// topoOf returns a network of the requested family with at least pes
+// PEs (the Θ(n)-PE algorithms: Theorem 4.2 and all of §5), through the
+// facade's topology registry.
 func topoOf(pes int) machine.Topology {
-	switch *topoName {
-	case "mesh":
-		return mesh.MustNew(dsseq.NextPow4(pes), mesh.Proximity)
-	case "hypercube":
-		return hypercube.MustNew(dsseq.NextPow2(pes))
-	case "shuffle":
-		q := 0
-		for 1<<q < dsseq.NextPow2(pes) {
-			q++
-		}
-		return shuffle.MustNew(q)
-	case "ccc":
-		for _, q := range []int{1, 2, 4, 8} {
-			if q*(1<<q) >= pes {
-				return ccc.MustNew(q)
-			}
-		}
-		fatal("no bundled CCC has %d PEs; largest is %d", pes, 8*(1<<8))
-	default:
-		fatal("unknown topology %q", *topoName)
-	}
-	panic("unreachable")
+	topo, err := dyncg.ParseTopology(*topoName)
+	check(err)
+	net, err := dyncg.NewNetwork(topo, pes)
+	check(err)
+	return net
 }
 
 // topoFor sizes the machine by the envelope bound λ(n, s) (the Θ(λ(n,s))-PE
 // transient algorithms of §4), matching core.MeshFor/CubeFor.
 func topoFor(points, s int) machine.Topology {
 	if *topoName == "mesh" {
-		return mesh.MustNew(penvelope.MeshPEs(points, s), mesh.Proximity)
+		return topoOf(penvelope.MeshPEs(points, s))
 	}
 	return topoOf(penvelope.CubePEs(points, s))
 }

@@ -1,0 +1,101 @@
+// Command dyncgd is the batch-serving daemon: a long-running HTTP server
+// exposing every algorithm of the dyncg facade as POST /v1/<algorithm>
+// with the versioned JSON schema of internal/api, backed by a pool of
+// pre-warmed simulated machines (internal/server).
+//
+//	dyncgd -addr :8080
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/closest-point-sequence -d '{
+//	  "v": 1,
+//	  "system": [[[0,1],[0]], [[10,-1],[1]]],
+//	  "origin": 0,
+//	  "options": {"topology": "hypercube"}
+//	}'
+//
+// Operational endpoints: GET /healthz (200 while serving, 503 while
+// draining) and GET /metrics (Prometheus text format: per-algorithm
+// request counts and latency histograms, pool hit/miss/eviction
+// counters, queue depth). On SIGINT/SIGTERM the daemon drains: health
+// flips to 503, new requests are rejected, and in-flight requests get
+// -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyncg/internal/server"
+)
+
+var (
+	addr         = flag.String("addr", ":8080", "listen address")
+	poolCap      = flag.Int("pool-cap", 32, "max idle machines retained across size classes (negative disables pooling)")
+	maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	maxQueue     = flag.Int("queue", 0, "max requests waiting for an execution slot (0 = 4x max-inflight)")
+	deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline, queueing included")
+	workers      = flag.Int("workers", 0, "default worker-pool size for requests that do not set options.workers (0 = serial)")
+	drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	logFormat    = flag.String("log", "json", "request log format: json|text")
+)
+
+func main() {
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "dyncgd: unknown -log format %q (want json|text)\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		PoolCap:        *poolCap,
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		Deadline:       *deadline,
+		DefaultWorkers: *workers,
+		Logger:         log,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Info("dyncgd listening", "addr", *addr, "pool_cap", *poolCap)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Error("listen failed", "err", err)
+		os.Exit(1)
+	case got := <-sig:
+		log.Info("draining", "signal", got.String(), "in_flight", srv.InFlight())
+	}
+
+	// Graceful drain: reject new work, give in-flight requests the grace
+	// period, then force-close whatever is left.
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("forced shutdown after drain timeout", "err", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	log.Info("stopped")
+}

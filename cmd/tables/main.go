@@ -24,6 +24,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"dyncg/internal/api"
 	"dyncg/internal/core"
 	"dyncg/internal/curve"
 	"dyncg/internal/dsseq"
@@ -163,27 +164,10 @@ func main() {
 	}
 }
 
-// benchRecord is one (row, topology, n) measurement of BENCH_tables.json:
-// the simulated time next to the paper's claimed Θ-bound evaluated at n,
-// and their ratio (flat ratios across n confirm the growth shape).
-type benchRecord struct {
-	Table    string  `json:"table"`
-	ID       string  `json:"id"`
-	Problem  string  `json:"problem"`
-	Topology string  `json:"topology"`
-	N        int     `json:"n"`
-	SimTime  int64   `json:"sim_time"`
-	Claim    string  `json:"claim"`
-	Bound    float64 `json:"bound"`
-	Ratio    float64 `json:"ratio"`
-
-	// Populated when -parallel is set: host wall-clock of the serial and
-	// worker-pool passes of the same cell (identical simulated work).
-	Workers      int     `json:"workers,omitempty"`
-	WallSerialNs int64   `json:"wall_serial_ns,omitempty"`
-	WallParNs    int64   `json:"wall_parallel_ns,omitempty"`
-	Speedup      float64 `json:"speedup,omitempty"`
-}
+// benchRecord is one (row, topology, n) measurement of BENCH_tables.json.
+// The shape is the shared wire schema api.BenchRecord, pinned by the
+// golden-file tests in internal/api alongside the server's v1 envelopes.
+type benchRecord = api.BenchRecord
 
 var benchRecords []benchRecord
 

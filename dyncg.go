@@ -47,11 +47,14 @@
 package dyncg
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
+	"dyncg/internal/ccc"
 	"dyncg/internal/core"
 	"dyncg/internal/dsseq"
+	"dyncg/internal/fault"
 	"dyncg/internal/hypercube"
 	"dyncg/internal/machine"
 	"dyncg/internal/mesh"
@@ -59,7 +62,26 @@ import (
 	"dyncg/internal/penvelope"
 	"dyncg/internal/pieces"
 	"dyncg/internal/poly"
+	"dyncg/internal/shuffle"
 	"dyncg/internal/trace"
+)
+
+// --- typed errors --------------------------------------------------------
+//
+// Every validation failure in the facade and its internal packages wraps
+// one of these sentinels, so callers branch with errors.Is instead of
+// matching message strings (the server in internal/server maps them to
+// HTTP statuses the same way).
+var (
+	// ErrTooFewPEs: the machine is too small for the computation (the
+	// algorithms prescribe Θ(n) or Θ(λ(n, s)) PEs; see EnvelopePEs).
+	ErrTooFewPEs = machine.ErrTooFewPEs
+	// ErrBadSystem: the system of moving points (or a query against it)
+	// violates the paper's §2.4 input model.
+	ErrBadSystem = motion.ErrBadSystem
+	// ErrNotSurvivable: a fault schedule killed enough PEs that no
+	// healthy aligned submachine can still run the computation.
+	ErrNotSurvivable = fault.ErrNotSurvivable
 )
 
 // Point is a moving point-object: one polynomial per coordinate (§2.4).
@@ -102,16 +124,199 @@ func RandomSystem(r *rand.Rand, n, k, d int, scale float64) *System {
 	return motion.Random(r, n, k, d, scale)
 }
 
+// Topology names one of the bundled interconnection networks. The mesh
+// and hypercube are the paper's machines (§2.2, §2.3); the cube-connected
+// cycles and shuffle-exchange networks are the §6 extensions.
+type Topology string
+
+// The bundled topologies.
+const (
+	Mesh      Topology = "mesh"      // √n×√n mesh, proximity (Hilbert) order
+	Hypercube Topology = "hypercube" // Gray-code-labelled hypercube
+	CCC       Topology = "ccc"       // cube-connected cycles
+	Shuffle   Topology = "shuffle"   // shuffle-exchange
+)
+
+// ParseTopology converts a topology name (as used by the CLIs and the
+// server's JSON schema) into a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch t := Topology(s); t {
+	case Mesh, Hypercube, CCC, Shuffle:
+		return t, nil
+	}
+	return "", fmt.Errorf("dyncg: unknown topology %q (want mesh|hypercube|ccc|shuffle)", s)
+}
+
+// Network is the communication structure a Machine simulates
+// (= machine.Topology). Networks are immutable after construction and
+// may be shared across machines and goroutines.
+type Network = machine.Topology
+
+// TopologySize returns the exact PE count NewNetwork(topo, n) will
+// construct: the smallest bundled network of the family with at least n
+// PEs (meshes round up to a power of four, hypercubes and
+// shuffle-exchange networks to a power of two, CCCs to q·2^q). Callers
+// that pool machines by size class (internal/server) use it to compute
+// the class key without constructing a network.
+func TopologySize(topo Topology, n int) (int, error) {
+	switch topo {
+	case Mesh:
+		return dsseq.NextPow4(n), nil
+	case Hypercube, Shuffle:
+		return dsseq.NextPow2(n), nil
+	case CCC:
+		for _, q := range []int{1, 2, 4, 8} {
+			if q*(1<<q) >= n {
+				return q * (1 << q), nil
+			}
+		}
+		return 0, fmt.Errorf("dyncg: no bundled CCC has %d PEs (largest is %d): %w",
+			n, 8*(1<<8), ErrTooFewPEs)
+	}
+	return 0, fmt.Errorf("dyncg: unknown topology %q (want mesh|hypercube|ccc|shuffle)", topo)
+}
+
+// NewNetwork constructs the smallest network of the given family with at
+// least n PEs (see TopologySize for the rounding rules).
+func NewNetwork(topo Topology, n int) (Network, error) {
+	size, err := TopologySize(topo, n)
+	if err != nil {
+		return nil, err
+	}
+	switch topo {
+	case Mesh:
+		return mesh.New(size, mesh.Proximity)
+	case Hypercube:
+		return hypercube.New(size)
+	case Shuffle:
+		q := 0
+		for 1<<q < size {
+			q++
+		}
+		return shuffle.New(q)
+	case CCC:
+		for _, q := range []int{1, 2, 4, 8} {
+			if q*(1<<q) == size {
+				return ccc.New(q)
+			}
+		}
+	}
+	panic("unreachable") // TopologySize already vetted topo and size
+}
+
+// machineConfig collects the MachineOption settings applied by NewMachine.
+type machineConfig struct {
+	mopts      []machine.Option
+	tracerName string
+	hasTracer  bool
+	faultSpec  string
+	faultSeed  int64
+	hasFault   bool
+}
+
+// MachineOption configures a machine built by NewMachine.
+type MachineOption func(*machineConfig)
+
+// WithParallel runs the machine's per-PE compute loops on a worker pool
+// of the given size (≤ 0 means GOMAXPROCS). Simulated costs, outputs,
+// and trace streams are identical to the serial backend; only host
+// wall-clock time changes.
+func WithParallel(workers int) MachineOption {
+	return func(c *machineConfig) {
+		c.mopts = append(c.mopts, machine.WithParallel(workers))
+	}
+}
+
+// WithTracer attaches a Tracer (rooted at the given span name) to the
+// machine at construction. Retrieve it with MachineTracer and call
+// Finish to obtain the span tree.
+func WithTracer(rootName string) MachineOption {
+	return func(c *machineConfig) {
+		c.tracerName = rootName
+		c.hasTracer = true
+	}
+}
+
+// WithFaultPlan installs a seeded deterministic fault schedule parsed
+// from the -faults spec syntax (e.g. "transient=0.05,retries=3").
+// Transient link faults charge retry rounds while leaving answers
+// bit-identical. Specs with permanent PE failures (fail=…) are rejected:
+// a directly driven machine cannot survive a PE failure — permanent
+// failures need the remap-and-rerun recovery harness (internal/fault.Run,
+// or cmd/dyncg -faults).
+func WithFaultPlan(spec string, seed int64) MachineOption {
+	return func(c *machineConfig) {
+		c.faultSpec = spec
+		c.faultSeed = seed
+		c.hasFault = true
+	}
+}
+
+// NewMachine constructs a simulated machine of the given topology family
+// with at least n PEs — the single constructor behind every CLI,
+// example, and the serving daemon. Options configure the parallel
+// execution backend, tracing, and fault injection.
+func NewMachine(topo Topology, n int, opts ...MachineOption) (*Machine, error) {
+	var cfg machineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	net, err := NewNetwork(topo, n)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(net, cfg.mopts...)
+	if cfg.hasFault {
+		spec, err := fault.ParseSpec(cfg.faultSpec)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Fail > 0 {
+			return nil, fmt.Errorf("dyncg: fault spec %q has permanent failures (fail=%d); a directly driven machine cannot survive a PE failure — use the recovery harness (cmd/dyncg -faults)", cfg.faultSpec, spec.Fail)
+		}
+		if !spec.Zero() {
+			p := fault.NewPlan(spec, cfg.faultSeed)
+			p.Bind(m.Size())
+			m.SetInjector(p)
+		}
+	}
+	if cfg.hasTracer {
+		trace.Attach(m, cfg.tracerName)
+	}
+	return m, nil
+}
+
+// MachineTracer returns the Tracer attached to m by WithTracer (or
+// AttachTracer), or nil if no tracer is attached.
+func MachineTracer(m *Machine) *Tracer {
+	if t, ok := m.Observer().(*trace.Tracer); ok {
+		return t
+	}
+	return nil
+}
+
 // NewMeshMachine returns a proximity-ordered mesh with at least n PEs
 // (rounded up to a power of four).
+//
+// Deprecated: use NewMachine(Mesh, n).
 func NewMeshMachine(n int) *Machine {
-	return machine.New(mesh.MustNew(dsseq.NextPow4(n), mesh.Proximity))
+	m, err := NewMachine(Mesh, n)
+	if err != nil {
+		panic(err) // unreachable for the mesh family
+	}
+	return m
 }
 
 // NewCubeMachine returns a Gray-code-labelled hypercube with at least n
 // PEs (rounded up to a power of two).
+//
+// Deprecated: use NewMachine(Hypercube, n).
 func NewCubeMachine(n int) *Machine {
-	return machine.New(hypercube.MustNew(dsseq.NextPow2(n)))
+	m, err := NewMachine(Hypercube, n)
+	if err != nil {
+		panic(err) // unreachable for the hypercube family
+	}
+	return m
 }
 
 // EnvelopePEs returns the number of PEs the envelope-based algorithms

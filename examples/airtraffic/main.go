@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("tracking %d aircraft, monitored aircraft = #0\n\n", sys.N())
 
 	// Question 1: closest aircraft over time.
-	m := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))
+	m := cube(dyncg.EnvelopePEs(sys.N(), 2*sys.K))
 	seq, err := dyncg.ClosestPointSequence(m, sys, 0)
 	if err != nil {
 		panic(err)
@@ -61,7 +61,7 @@ func main() {
 	fmt.Printf("(simulated hypercube time: %d steps)\n\n", m.Stats().Time())
 
 	// Question 2: collision alarms.
-	m2 := dyncg.NewCubeMachine(8 * sys.N())
+	m2 := cube(8 * sys.N())
 	collisions, err := dyncg.CollisionTimes(m2, sys, 0)
 	if err != nil {
 		panic(err)
@@ -73,4 +73,14 @@ func main() {
 		fmt.Printf("COLLISION ALERT: aircraft #%d meets #%d at t = %.3f\n", c.A, c.B, c.T)
 	}
 	fmt.Printf("(simulated hypercube time: %d steps)\n", m2.Stats().Time())
+}
+
+// cube builds an n-PE hypercube machine through the options facade,
+// panicking on bad sizes — fine for an example, use the error in real code.
+func cube(n int) *dyncg.Machine {
+	m, err := dyncg.NewMachine(dyncg.Hypercube, n)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

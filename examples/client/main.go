@@ -1,0 +1,116 @@
+// Client: talk to a running dyncgd daemon over its v1 JSON protocol.
+// The request/response structs are written out with plain stdlib JSON —
+// exactly what a client in any language would send — so this file doubles
+// as wire-schema documentation.
+//
+//	go run ./cmd/dyncgd &      # start the daemon on :8080
+//	go run ./examples/client
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// request is the v1 envelope of POST /v1/<algorithm>. A system is
+// point → coordinate → ascending polynomial coefficients, so
+// [[[0,1],[0]], ...] is a point at (t, 0).
+type request struct {
+	V       int           `json:"v"`
+	System  [][][]float64 `json:"system"`
+	Origin  int           `json:"origin,omitempty"`
+	Options options       `json:"options,omitempty"`
+}
+
+type options struct {
+	Topology string `json:"topology,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	Faults   string `json:"faults,omitempty"`
+	Trace    bool   `json:"trace,omitempty"`
+}
+
+// response is the v1 response envelope; result is left raw because its
+// shape depends on the algorithm (here: a closest-point sequence).
+type response struct {
+	V         int    `json:"v"`
+	Algorithm string `json:"algorithm"`
+	Machine   struct {
+		Topology string `json:"topology"`
+		PEs      int    `json:"pes"`
+	} `json:"machine"`
+	Stats struct {
+		Time      int64 `json:"time"`
+		CommSteps int64 `json:"comm_steps"`
+		Rounds    int64 `json:"rounds"`
+	} `json:"stats"`
+	Pool struct {
+		Hit bool `json:"hit"`
+	} `json:"pool"`
+	Result []neighborEvent `json:"result"`
+}
+
+// neighborEvent is one element of a closest-point sequence. Interval
+// ends may be the JSON string "inf", so the bounds decode into any.
+type neighborEvent struct {
+	Point int `json:"point"`
+	Lo    any `json:"lo"`
+	Hi    any `json:"hi"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "dyncgd base URL")
+	topo := flag.String("topo", "hypercube", "machine family: mesh|hypercube|ccc|shuffle")
+	flag.Parse()
+
+	// Three moving points in the plane (the quickstart system):
+	// P0 sits at the origin, P1 flies east, P2 dives toward P0.
+	req := request{
+		V: 1,
+		System: [][][]float64{
+			{{0}, {0}},
+			{{1, 2}, {0}},
+			{{0}, {20, -1}},
+		},
+		Origin:  0,
+		Options: options{Topology: *topo},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+
+	hr, err := http.Post(*addr+"/v1/closest-point-sequence", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("%w (is dyncgd running? go run ./cmd/dyncgd)", err))
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(hr.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("daemon returned %s: %s", hr.Status, raw))
+	}
+	var resp response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("closest points to P0 over time (served by a %d-PE %s, pool hit: %v):\n",
+		resp.Machine.PEs, resp.Machine.Topology, resp.Pool.Hit)
+	for _, ev := range resp.Result {
+		fmt.Printf("  P%-2d on [%v, %v]\n", ev.Point, ev.Lo, ev.Hi)
+	}
+	fmt.Printf("simulated parallel time: %d steps (%d comm rounds)\n",
+		resp.Stats.Time, resp.Stats.Rounds)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "client:", err)
+	os.Exit(1)
+}

@@ -28,18 +28,16 @@ func main() {
 	}
 	fmt.Printf("system: n=%d points, k=%d motion, d=%d\n\n", sys.N(), sys.K, sys.D)
 
-	for _, mk := range []struct {
-		name string
-		m    *dyncg.Machine
-	}{
-		{"hypercube", dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))},
-		{"mesh", dyncg.NewMeshMachine(dyncg.EnvelopePEs(sys.N(), 2*sys.K))},
-	} {
-		seq, err := dyncg.ClosestPointSequence(mk.m, sys, 0)
+	for _, topo := range []dyncg.Topology{dyncg.Hypercube, dyncg.Mesh} {
+		m, err := dyncg.NewMachine(topo, dyncg.EnvelopePEs(sys.N(), 2*sys.K))
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("closest points to P0 over time (%s):\n", mk.name)
+		seq, err := dyncg.ClosestPointSequence(m, sys, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("closest points to P0 over time (%s):\n", topo)
 		for _, ev := range seq {
 			hi := "∞"
 			if !math.IsInf(ev.Hi, 1) {
@@ -47,12 +45,15 @@ func main() {
 			}
 			fmt.Printf("  P%-2d on [%.3f, %s]\n", ev.Point, ev.Lo, hi)
 		}
-		fmt.Printf("simulated parallel time: %v\n\n", mk.m.Stats())
+		fmt.Printf("simulated parallel time: %v\n\n", m.Stats())
 	}
 
 	// The steady-state shortcut (Proposition 5.2) answers only the
 	// "final" question, much faster.
-	m := dyncg.NewMeshMachine(sys.N())
+	m, err := dyncg.NewMachine(dyncg.Mesh, sys.N())
+	if err != nil {
+		panic(err)
+	}
 	nn, err := dyncg.SteadyNearestNeighbor(m, sys, 0, false)
 	if err != nil {
 		panic(err)

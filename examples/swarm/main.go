@@ -47,7 +47,7 @@ func main() {
 	}
 	fmt.Printf("swarm of %d robots in %d-D, k=%d motion\n\n", sys.N(), sys.D, sys.K)
 
-	m := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), sys.K+2))
+	m := cube(dyncg.EnvelopePEs(sys.N(), sys.K+2))
 
 	// 1. When does the swarm fit in a 10×10×10 crate?
 	crate := []float64{10, 10, 10}
@@ -68,7 +68,7 @@ func main() {
 	}
 
 	// 2. The bounding-cube edge-length function.
-	m2 := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), sys.K+2))
+	m2 := cube(dyncg.EnvelopePEs(sys.N(), sys.K+2))
 	dfn, err := dyncg.SmallestHypercubeEdge(m2, sys)
 	if err != nil {
 		panic(err)
@@ -81,7 +81,7 @@ func main() {
 	}
 
 	// 3. The tightest configuration ever reached.
-	m3 := dyncg.NewCubeMachine(dyncg.EnvelopePEs(sys.N(), sys.K+2))
+	m3 := cube(dyncg.EnvelopePEs(sys.N(), sys.K+2))
 	dmin, tmin, err := dyncg.SmallestEverHypercube(m3, sys)
 	if err != nil {
 		panic(err)
@@ -96,4 +96,14 @@ func main() {
 // t = 6.
 func quad(x0, drift float64) poly.Poly {
 	return dyncg.Polynomial(x0, -x0/3, (x0+drift)/36)
+}
+
+// cube builds an n-PE hypercube machine through the options facade,
+// panicking on bad sizes — fine for an example, use the error in real code.
+func cube(n int) *dyncg.Machine {
+	m, err := dyncg.NewMachine(dyncg.Hypercube, n)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -23,8 +23,11 @@ func main() {
 	// closest-point sequence (Theorem 4.1) and the §4 collision times
 	// (Theorem 4.2) run back to back; the tracer attributes every
 	// simulated step to the theorem and primitive that charged it.
-	m := dyncg.NewCubeMachine(8 * sys.N())
-	tr := dyncg.AttachTracer(m, "demo")
+	m, err := dyncg.NewMachine(dyncg.Hypercube, 8*sys.N(), dyncg.WithTracer("demo"))
+	if err != nil {
+		panic(err)
+	}
+	tr := dyncg.MachineTracer(m)
 
 	if _, err := dyncg.ClosestPointSequence(m, sys, 0); err != nil {
 		panic(err)

@@ -49,7 +49,7 @@ func main() {
 	fmt.Printf("tracking %d targets (k=%d motion)\n\n", sys.N(), sys.K)
 
 	// Steady-state hull.
-	m := dyncg.NewCubeMachine(8 * sys.N())
+	m := cube(8 * sys.N())
 	hull, err := dyncg.SteadyHull(m, sys)
 	if err != nil {
 		panic(err)
@@ -58,7 +58,7 @@ func main() {
 	fmt.Printf("  [static stragglers #%d and #%d are eventually interior]\n\n", n, n+1)
 
 	// Farthest pair and the diameter function.
-	m2 := dyncg.NewCubeMachine(8 * sys.N())
+	m2 := cube(8 * sys.N())
 	a, b, d2, err := dyncg.SteadyFarthestPair(m2, sys)
 	if err != nil {
 		panic(err)
@@ -69,7 +69,7 @@ func main() {
 		math.Sqrt(d2.Eval(100)), math.Sqrt(d2.Eval(1000)))
 
 	// Minimal-area bounding rectangle in the limit.
-	m3 := dyncg.NewCubeMachine(8 * sys.N())
+	m3 := cube(8 * sys.N())
 	rect, err := dyncg.SteadyMinAreaRect(m3, sys)
 	if err != nil {
 		panic(err)
@@ -78,7 +78,10 @@ func main() {
 	fmt.Printf("  area(t) → %v (area at t=1000: %.1f)\n\n", rect.Area, rect.Area.Eval(1000))
 
 	// Steady-state nearest neighbour of target 0.
-	m4 := dyncg.NewMeshMachine(sys.N())
+	m4, err := dyncg.NewMachine(dyncg.Mesh, sys.N())
+	if err != nil {
+		panic(err)
+	}
 	nn, err := dyncg.SteadyNearestNeighbor(m4, sys, 0, false)
 	if err != nil {
 		panic(err)
@@ -86,4 +89,14 @@ func main() {
 	fmt.Printf("eventual nearest neighbour of #0: #%d\n", nn)
 	fmt.Printf("simulated times: hull %d, farthest %d, rect %d, NN %d steps\n",
 		m.Stats().Time(), m2.Stats().Time(), m3.Stats().Time(), m4.Stats().Time())
+}
+
+// cube builds an n-PE hypercube machine through the options facade,
+// panicking on bad sizes — fine for an example, use the error in real code.
+func cube(n int) *dyncg.Machine {
+	m, err := dyncg.NewMachine(dyncg.Hypercube, n)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -118,7 +118,7 @@ func indicatorIntervals(m *machine.M, w pieces.Piecewise) []Interval {
 // Θ(log² n) hypercube.
 func ContainmentIntervals(m *machine.M, sys *motion.System, dims []float64) ([]Interval, error) {
 	if len(dims) != sys.D {
-		return nil, fmt.Errorf("core: %d dims for %d-dimensional system", len(dims), sys.D)
+		return nil, fmt.Errorf("core: %d dims for %d-dimensional system: %w", len(dims), sys.D, motion.ErrBadSystem)
 	}
 	if m.Observed() {
 		m.SpanBegin("thm4.6-containment",

@@ -37,7 +37,7 @@ import (
 //     (Lemma 4.4), and a parallel prefix packs those intervals.
 func HullVertexIntervals(m *machine.M, sys *motion.System, origin int) ([]Interval, error) {
 	if sys.D != 2 {
-		return nil, fmt.Errorf("core: hull membership requires planar motion, got d=%d", sys.D)
+		return nil, fmt.Errorf("core: hull membership requires planar motion, got d=%d: %w", sys.D, motion.ErrBadSystem)
 	}
 	n := sys.N()
 	if n <= 2 {

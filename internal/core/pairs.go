@@ -48,7 +48,7 @@ func PairSequencePEs(n, k int) int {
 func pairSequence(m *machine.M, sys *motion.System, kind pieces.Kind) ([]PairEvent, error) {
 	n := sys.N()
 	if n < 2 {
-		return nil, fmt.Errorf("core: pair sequence needs at least two points")
+		return nil, fmt.Errorf("core: pair sequence needs at least two points: %w", motion.ErrBadSystem)
 	}
 	if m.Observed() {
 		name := "s6-closest-pair-seq"
@@ -122,7 +122,7 @@ func SerialClosestPairSequence(sys *motion.System, kind pieces.Kind) []PairEvent
 // of d²_{0j}, then a semigroup under the Lemma 5.1 steady-state order.
 func SteadyNearestNeighborD(m *machine.M, sys *motion.System, origin int, farthest bool) (int, error) {
 	if origin < 0 || origin >= sys.N() {
-		return -1, fmt.Errorf("core: origin %d out of range", origin)
+		return -1, fmt.Errorf("core: origin %d out of range: %w", origin, motion.ErrBadSystem)
 	}
 	if m.Observed() {
 		m.SpanBegin("s6-steady-nn-d", "n", strconv.Itoa(sys.N()), "d", strconv.Itoa(sys.D))

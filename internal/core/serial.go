@@ -18,7 +18,7 @@ import (
 // SerialHullVertexIntervals is the serial baseline for Theorem 4.5.
 func SerialHullVertexIntervals(sys *motion.System, origin int) ([]Interval, error) {
 	if sys.D != 2 {
-		return nil, fmt.Errorf("core: hull membership requires planar motion, got d=%d", sys.D)
+		return nil, fmt.Errorf("core: hull membership requires planar motion, got d=%d: %w", sys.D, motion.ErrBadSystem)
 	}
 	if sys.N() <= 2 {
 		return []Interval{{Lo: 0, Hi: math.Inf(1)}}, nil
@@ -70,7 +70,7 @@ func SerialHullVertexIntervals(sys *motion.System, origin int) ([]Interval, erro
 // SerialContainmentIntervals is the serial baseline for Theorem 4.6.
 func SerialContainmentIntervals(sys *motion.System, dims []float64) ([]Interval, error) {
 	if len(dims) != sys.D {
-		return nil, fmt.Errorf("core: %d dims for %d-dimensional system", len(dims), sys.D)
+		return nil, fmt.Errorf("core: %d dims for %d-dimensional system: %w", len(dims), sys.D, motion.ErrBadSystem)
 	}
 	spans := serialSpanFunctions(sys)
 	var c pieces.Piecewise

@@ -17,7 +17,7 @@ import (
 // algorithm runs on.
 func SteadyPoints(sys *motion.System) ([]geom.Point[ratfun.RatFun], error) {
 	if sys.D != 2 {
-		return nil, fmt.Errorf("core: steady-state algorithms are planar, got d=%d", sys.D)
+		return nil, fmt.Errorf("core: steady-state algorithms are planar, got d=%d: %w", sys.D, motion.ErrBadSystem)
 	}
 	pts := make([]geom.Point[ratfun.RatFun], sys.N())
 	for i, p := range sys.Points {

@@ -37,7 +37,7 @@ func FarthestPointSequence(m *machine.M, sys *motion.System, origin int) ([]Neig
 
 func neighborSequence(m *machine.M, sys *motion.System, origin int, kind pieces.Kind) ([]NeighborEvent, error) {
 	if origin < 0 || origin >= sys.N() {
-		return nil, fmt.Errorf("core: origin %d out of range", origin)
+		return nil, fmt.Errorf("core: origin %d out of range: %w", origin, motion.ErrBadSystem)
 	}
 	if m.Observed() {
 		name := "thm4.1-closest-seq"
@@ -116,7 +116,7 @@ func CollisionTimes(m *machine.M, sys *motion.System, origin int) ([]Collision, 
 		}
 	}
 	if total > n {
-		return nil, fmt.Errorf("core: %d collision events exceed %d PEs", total, n)
+		return nil, fmt.Errorf("core: %d collision events exceed %d PEs: %w", total, n, machine.ErrTooFewPEs)
 	}
 	// Pack (prefix + bounded routes) and sort chronologically.
 	regs := packLists(m, emitted)

@@ -1,0 +1,11 @@
+package machine
+
+import "errors"
+
+// ErrTooFewPEs reports that a machine is too small for the computation
+// it was asked to run — the paper's algorithms each prescribe a minimum
+// PE count (Θ(n) for the direct algorithms, Θ(λ(n, s)) for the
+// envelope-based ones), and callers that size machines below it get an
+// error wrapping this sentinel rather than a wrong answer. Test with
+// errors.Is; the facade re-exports it as dyncg.ErrTooFewPEs.
+var ErrTooFewPEs = errors.New("machine: too few PEs for the computation")

@@ -191,6 +191,16 @@ func (m *M) Reset() {
 	m.scr.gen++
 }
 
+// WarmReset zeroes the Stats counters like Reset but keeps the current
+// scratch-arena generation, so scratch buffers parked by earlier runs
+// remain reusable. It is the reset for deliberate machine reuse across
+// runs of the same shape — the serving pool (internal/server) checks a
+// pre-warmed machine out, WarmResets it, and runs the next request with
+// zero machine or scratch allocations. Use the plain Reset when the
+// next run's peak scratch is unrelated to the previous one's and parked
+// buffers should be released to the garbage collector instead.
+func (m *M) WarmReset() { m.st = Stats{} }
+
 // xorRoundCost returns (and caches) the worst partner distance of a
 // bit-b XOR round. Topologies that memoise their own tables (RoundCoster)
 // are consulted directly; others fall back to a per-machine scan.

@@ -10,6 +10,7 @@
 package motion
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -17,6 +18,14 @@ import (
 	"dyncg/internal/poly"
 	"dyncg/internal/ratfun"
 )
+
+// ErrBadSystem reports an input that violates the paper's §2.4 model (an
+// empty system, mixed dimensions, coincident initial positions) or a
+// query that does not fit the system (an out-of-range origin, a
+// dimension mismatch). Every such validation error in this package and
+// internal/core wraps it; test with errors.Is. The facade re-exports it
+// as dyncg.ErrBadSystem.
+var ErrBadSystem = errors.New("motion: invalid system of moving points")
 
 // Point is one moving point-object: Coord[i] is the polynomial giving its
 // i-th coordinate as a function of time.
@@ -90,13 +99,13 @@ type System struct {
 // dimension; K is the observed maximum degree).
 func NewSystem(pts []Point) (*System, error) {
 	if len(pts) == 0 {
-		return nil, fmt.Errorf("motion: empty system")
+		return nil, fmt.Errorf("empty system: %w", ErrBadSystem)
 	}
 	d := pts[0].Dim()
 	k := 0
 	for i, p := range pts {
 		if p.Dim() != d {
-			return nil, fmt.Errorf("motion: point %d has dimension %d, want %d", i, p.Dim(), d)
+			return nil, fmt.Errorf("point %d has dimension %d, want %d: %w", i, p.Dim(), d, ErrBadSystem)
 		}
 		if pd := p.Degree(); pd > k {
 			k = pd
@@ -112,7 +121,7 @@ func NewSystem(pts []Point) (*System, error) {
 				}
 			}
 			if same {
-				return nil, fmt.Errorf("motion: points %d and %d share an initial position (violates §2.4)", i, j)
+				return nil, fmt.Errorf("points %d and %d share an initial position (violates §2.4): %w", i, j, ErrBadSystem)
 			}
 		}
 	}

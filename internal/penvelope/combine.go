@@ -20,8 +20,8 @@ import (
 func Combine2(m *machine.M, f, g pieces.Piecewise, window func(fw, gw pieces.Piecewise) pieces.Piecewise) (pieces.Piecewise, error) {
 	N := m.Size()
 	if len(f) > N/2 || len(g) > N/2 {
-		return nil, fmt.Errorf("penvelope: Combine2 inputs (%d, %d pieces) exceed machine halves (%d PEs)",
-			len(f), len(g), N)
+		return nil, fmt.Errorf("penvelope: Combine2 inputs (%d, %d pieces) exceed machine halves (%d PEs): %w",
+			len(f), len(g), N, machine.ErrTooFewPEs)
 	}
 	regs := make([]machine.Reg[envReg], N)
 	for j, p := range f {
@@ -61,7 +61,7 @@ func MergeMinMax(m *machine.M, f, g pieces.Piecewise, kind pieces.Kind) (pieces.
 func MapPieces(m *machine.M, f pieces.Piecewise, fn func(pieces.Piece) []pieces.Piece) (pieces.Piecewise, error) {
 	N := m.Size()
 	if len(f) > N {
-		return nil, fmt.Errorf("penvelope: MapPieces input (%d pieces) exceeds machine (%d PEs)", len(f), N)
+		return nil, fmt.Errorf("penvelope: MapPieces input (%d pieces) exceeds machine (%d PEs): %w", len(f), N, machine.ErrTooFewPEs)
 	}
 	emitted := make([][]pieces.Piece, N)
 	m.ChargeLocal(1)
@@ -71,7 +71,7 @@ func MapPieces(m *machine.M, f pieces.Piecewise, fn func(pieces.Piece) []pieces.
 		total += len(emitted[i])
 	}
 	if total > N {
-		return nil, fmt.Errorf("penvelope: MapPieces expansion (%d pieces) exceeds machine (%d PEs)", total, N)
+		return nil, fmt.Errorf("penvelope: MapPieces expansion (%d pieces) exceeds machine (%d PEs): %w", total, N, machine.ErrTooFewPEs)
 	}
 	counts := make([]machine.Reg[int], N)
 	m.ChargeLocal(1)

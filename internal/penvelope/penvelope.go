@@ -99,8 +99,8 @@ func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Pie
 	n2 := dsseq.NextPow2(n)
 	stride := N / n2
 	if stride < dsseq.NextPow2(maxInit) {
-		return nil, fmt.Errorf("penvelope: %d functions with ≤%d pieces need ≥%d PEs, machine has %d",
-			n, maxInit, n2*dsseq.NextPow2(maxInit), N)
+		return nil, fmt.Errorf("penvelope: %d functions with ≤%d pieces need ≥%d PEs, machine has %d: %w",
+			n, maxInit, n2*dsseq.NextPow2(maxInit), N, machine.ErrTooFewPEs)
 	}
 	// Spread the inputs: function i's pieces at PEs i·stride, i·stride+1, …
 	// (Step 1 of Theorem 3.2: split the descriptions evenly).

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"fmt"
+
+	"dyncg/internal/api"
+	"dyncg/internal/core"
+	"dyncg/internal/machine"
+	"dyncg/internal/motion"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+)
+
+// algorithm couples one facade algorithm to its machine prescription and
+// wire conversion. pes is the PE count the theorem prescribes for the
+// system on the given topology family, before topology rounding — the
+// same sizing cmd/dyncg applies. minSize, when non-nil, is the smallest
+// machine the body accepts after rounding or fault degradation (the
+// guard that turns an under-sized degraded submachine into ErrTooFewPEs
+// instead of an index panic).
+type algorithm struct {
+	pes     func(topo string, sys *motion.System) int
+	minSize func(sys *motion.System) int
+	run     func(m *machine.M, sys *motion.System, req *api.Request) (any, error)
+}
+
+// envPEs is the Θ(λ(n, s)) envelope allocation of Theorem 3.2 for the
+// topology family ("mesh" gets the λ_M bound, everything else λ_H).
+func envPEs(topo string, n, s int) int {
+	if topo == "mesh" {
+		return penvelope.MeshPEs(n, s)
+	}
+	return penvelope.CubePEs(n, s)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func atLeast(mult int) func(sys *motion.System) int {
+	return func(sys *motion.System) int { return mult * sys.N() }
+}
+
+// algorithms is the serving surface: one entry per facade algorithm,
+// keyed by the URL path element of POST /v1/<name>.
+var algorithms = map[string]algorithm{
+	"closest-point-sequence": {
+		pes: func(topo string, sys *motion.System) int {
+			return envPEs(topo, sys.N(), 2*maxi(sys.K, 1))
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			seq, err := core.ClosestPointSequence(m, sys, req.Origin)
+			return neighborEvents(seq), err
+		},
+	},
+	"farthest-point-sequence": {
+		pes: func(topo string, sys *motion.System) int {
+			return envPEs(topo, sys.N(), 2*maxi(sys.K, 1))
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			seq, err := core.FarthestPointSequence(m, sys, req.Origin)
+			return neighborEvents(seq), err
+		},
+	},
+	"collision-times": {
+		pes: func(topo string, sys *motion.System) int { return 8 * sys.N() },
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			cs, err := core.CollisionTimes(m, sys, req.Origin)
+			return collisions(cs), err
+		},
+	},
+	"hull-vertex-intervals": {
+		pes: func(topo string, sys *motion.System) int {
+			return envPEs(topo, sys.N(), 4*maxi(sys.K, 1)+2)
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			ivs, err := core.HullVertexIntervals(m, sys, req.Origin)
+			return intervals(ivs), err
+		},
+	},
+	"containment-intervals": {
+		pes: func(topo string, sys *motion.System) int {
+			return envPEs(topo, sys.N(), sys.K+2)
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			ivs, err := core.ContainmentIntervals(m, sys, req.Dims)
+			return intervals(ivs), err
+		},
+	},
+	"smallest-hypercube-edge": {
+		pes: func(topo string, sys *motion.System) int {
+			return envPEs(topo, sys.N(), sys.K+2)
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			pw, err := core.SmallestHypercubeEdge(m, sys)
+			return piecewise(pw), err
+		},
+	},
+	"smallest-ever-hypercube": {
+		pes: func(topo string, sys *motion.System) int {
+			return envPEs(topo, sys.N(), sys.K+2)
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			dmin, tmin, err := core.SmallestEverHypercube(m, sys)
+			return api.MinCube{D: dmin, T: tmin}, err
+		},
+	},
+	"steady-nearest-neighbor": {
+		pes:     func(topo string, sys *motion.System) int { return sys.N() },
+		minSize: atLeast(1),
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			nn, err := core.SteadyNearestNeighborD(m, sys, req.Origin, req.Farthest)
+			return api.Neighbor{Point: nn}, err
+		},
+	},
+	"steady-closest-pair": {
+		pes:     func(topo string, sys *motion.System) int { return 4 * sys.N() },
+		minSize: atLeast(1),
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			a, b, err := core.SteadyClosestPair(m, sys)
+			return api.Pair{A: a, B: b}, err
+		},
+	},
+	"steady-hull": {
+		pes:     func(topo string, sys *motion.System) int { return 8 * sys.N() },
+		minSize: atLeast(1),
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			hull, err := core.SteadyHull(m, sys)
+			return api.Hull{Vertices: hull}, err
+		},
+	},
+	"steady-farthest-pair": {
+		pes:     func(topo string, sys *motion.System) int { return 8 * sys.N() },
+		minSize: atLeast(4),
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			a, b, d2, err := core.SteadyFarthestPair(m, sys)
+			return api.FarthestPair{A: a, B: b, Dist2: coefs(d2)}, err
+		},
+	},
+	"steady-min-area-rect": {
+		pes:     func(topo string, sys *motion.System) int { return 8 * sys.N() },
+		minSize: atLeast(4),
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			rect, err := core.SteadyMinAreaRect(m, sys)
+			if err != nil {
+				return nil, err
+			}
+			return api.Rect{Edge: rect.Edge, Area: fmt.Sprintf("%v", rect.Area)}, nil
+		},
+	},
+	"closest-pair-sequence": {
+		pes: func(topo string, sys *motion.System) int {
+			k := maxi(sys.K, 1)
+			return envPEs(topo, core.PairSequencePEs(sys.N(), k), 2*k)
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			seq, err := core.ClosestPairSequence(m, sys)
+			return pairEvents(seq), err
+		},
+	},
+	"farthest-pair-sequence": {
+		pes: func(topo string, sys *motion.System) int {
+			k := maxi(sys.K, 1)
+			return envPEs(topo, core.PairSequencePEs(sys.N(), k), 2*k)
+		},
+		run: func(m *machine.M, sys *motion.System, req *api.Request) (any, error) {
+			seq, err := core.FarthestPairSequence(m, sys)
+			return pairEvents(seq), err
+		},
+	},
+}
+
+// --- wire conversions ----------------------------------------------------
+//
+// Converters return empty (not nil) slices so an empty result marshals
+// as [] rather than null, and they are total — a nil input (the
+// error-path value) converts to an empty payload the response encoder
+// never sees.
+
+func neighborEvents(seq []core.NeighborEvent) []api.NeighborEvent {
+	out := make([]api.NeighborEvent, 0, len(seq))
+	for _, ev := range seq {
+		out = append(out, api.NeighborEvent{Point: ev.Point, Lo: api.Time(ev.Lo), Hi: api.Time(ev.Hi)})
+	}
+	return out
+}
+
+func collisions(cs []core.Collision) []api.Collision {
+	out := make([]api.Collision, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, api.Collision{T: c.T, A: c.A, B: c.B})
+	}
+	return out
+}
+
+func intervals(ivs []core.Interval) []api.Interval {
+	out := make([]api.Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		out = append(out, api.Interval{Lo: api.Time(iv.Lo), Hi: api.Time(iv.Hi)})
+	}
+	return out
+}
+
+func piecewise(pw pieces.Piecewise) []api.Piece {
+	out := make([]api.Piece, 0, len(pw))
+	for _, p := range pw {
+		out = append(out, api.Piece{F: fmt.Sprintf("%v", p.F), ID: p.ID, Lo: api.Time(p.Lo), Hi: api.Time(p.Hi)})
+	}
+	return out
+}
+
+func pairEvents(seq []core.PairEvent) []api.PairEvent {
+	out := make([]api.PairEvent, 0, len(seq))
+	for _, ev := range seq {
+		out = append(out, api.PairEvent{A: ev.A, B: ev.B, Lo: api.Time(ev.Lo), Hi: api.Time(ev.Hi)})
+	}
+	return out
+}
+
+func coefs(p poly.Poly) []float64 {
+	return append(make([]float64, 0, len(p)), p...)
+}
+
+// systemFrom decodes the wire form of a system of moving points:
+// point → coordinate → ascending polynomial coefficients.
+func systemFrom(raw [][][]float64) (*motion.System, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("server: empty system: %w", motion.ErrBadSystem)
+	}
+	pts := make([]motion.Point, len(raw))
+	for i, coords := range raw {
+		cs := make([]poly.Poly, len(coords))
+		for j, cf := range coords {
+			cs[j] = poly.New(cf...)
+		}
+		pts[i] = motion.NewPoint(cs...)
+	}
+	return motion.NewSystem(pts)
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dyncg/internal/api"
+	"dyncg/internal/motion"
+)
+
+// benchRequest is the serving workload of the pinned benchmarks: a
+// steady-state hull over 8 diverging points (64-PE hypercube class).
+func benchRequest(b testing.TB) (string, []byte) {
+	sys := motion.Diverging(rand.New(rand.NewSource(13)), 8)
+	body, err := json.Marshal(api.Request{V: api.Version, System: wireSystem(sys)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return "steady-hull", body
+}
+
+func serveOnce(b testing.TB, s *Server, algo string, body []byte) {
+	r := httptest.NewRequest(http.MethodPost, "/v1/"+algo, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServer is the serving entry of the pinned benchmark suite
+// (scripts/bench.sh → BENCH_perf.json): one full request through decode,
+// admission, pool, algorithm, and encode. The warm variant reuses the
+// pooled machine every iteration — its allocs/op is the per-request
+// serving overhead (request/response plumbing and result conversion)
+// with ZERO machine or scratch allocations; the cold variant constructs
+// a machine per request, and the gap between the two is what the pool
+// buys.
+func BenchmarkServer(b *testing.B) {
+	algo, body := benchRequest(b)
+	b.Run("warm", func(b *testing.B) {
+		s := New(Config{})
+		serveOnce(b, s, algo, body) // populate the pool, warm the arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, algo, body)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		s := New(Config{PoolCap: -1}) // retention disabled: construct every time
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, algo, body)
+		}
+	})
+}
+
+// TestWarmRequestAllocBudget asserts the acceptance criterion end to
+// end: on a warm size class the whole HTTP request performs strictly
+// fewer allocations than the cold path — every machine- and
+// scratch-related allocation is gone, leaving only request plumbing
+// (JSON decode/encode, recorder, result slices), which the machine of a
+// cold request strictly exceeds. The machine-level zero-allocation
+// budget itself is pinned by TestWarmCheckoutRunAllocFree.
+func TestWarmRequestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	algo, body := benchRequest(t)
+
+	warmSrv := New(Config{})
+	serveOnce(t, warmSrv, algo, body)
+	warm := testing.AllocsPerRun(10, func() { serveOnce(t, warmSrv, algo, body) })
+
+	coldSrv := New(Config{PoolCap: -1})
+	cold := testing.AllocsPerRun(10, func() { serveOnce(t, coldSrv, algo, body) })
+
+	if warm >= cold {
+		t.Errorf("warm request allocates %v/run, cold %v/run; the pool saved nothing", warm, cold)
+	}
+	t.Logf("allocs/run: warm=%v cold=%v (machine+scratch construction eliminated)", warm, cold)
+}

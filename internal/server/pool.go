@@ -1,0 +1,166 @@
+// Package server is the batch-serving layer of the repository: an HTTP
+// handler exposing every facade algorithm as POST /v1/<algorithm> with
+// the versioned JSON schema of internal/api, backed by a sharded pool of
+// pre-warmed machines so steady-state requests simulate without
+// allocating.
+//
+// The serving pipeline per request:
+//
+//	decode → validate → admit (bounded queue + in-flight cap, deadline)
+//	→ check a machine out of the pool (or construct on miss)
+//	→ run the algorithm → convert the answer to its wire form
+//	→ check the machine back in → respond.
+//
+// Fault-injected requests bypass the pool: the recovery harness
+// (internal/fault.Run) owns machine construction across its re-run
+// attempts, so those requests construct throwaway machines and report
+// Pool.Bypassed.
+package server
+
+import (
+	"sync"
+
+	"dyncg/internal/machine"
+)
+
+// Key identifies a machine size class: requests whose (topology family,
+// post-rounding PE count, worker-pool size) coincide are served by
+// interchangeable machines. PEs is the exact constructed size (use
+// dyncg.TopologySize), not the requested minimum, so e.g. a 100-PE and a
+// 120-PE hypercube request share the 128-PE class.
+type Key struct {
+	Topo    string
+	PEs     int
+	Workers int
+}
+
+// pooled is one idle machine plus the logical-clock stamp of its last
+// check-in (its LRU age).
+type pooled struct {
+	m    *machine.M
+	seen uint64
+}
+
+// Pool is a sharded fleet of idle, pre-warmed machines keyed by size
+// class. Within a class machines form a stack (most recently used on
+// top, so the warmest arena is handed out first); across classes the
+// globally least-recently-used machine is evicted when the pool exceeds
+// its capacity.
+//
+// Get and Put are safe for concurrent use and allocation-free in steady
+// state — the point of the pool: a warm checkout plus WarmReset leaves
+// the machine's scratch arena intact, so the request that follows runs
+// its data-movement primitives with zero machine or scratch allocations.
+type Pool struct {
+	mu        sync.Mutex
+	capacity  int
+	clock     uint64
+	idle      map[Key][]pooled
+	n         int
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewPool returns a pool retaining at most capacity idle machines
+// (capacity ≤ 0 disables retention: every Put discards the machine).
+func NewPool(capacity int) *Pool {
+	return &Pool{capacity: capacity, idle: make(map[Key][]pooled)}
+}
+
+// Get checks the most recently used idle machine of the size class out
+// of the pool, WarmReset (counters zeroed, scratch arena kept warm), or
+// returns nil on a pool miss — the caller then constructs a machine and
+// Puts it back after use, growing the class.
+func (p *Pool) Get(key Key) *machine.M {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stack := p.idle[key]
+	if n := len(stack); n > 0 {
+		m := stack[n-1].m
+		stack[n-1] = pooled{}
+		p.idle[key] = stack[:n-1]
+		p.n--
+		p.hits++
+		m.WarmReset()
+		return m
+	}
+	p.misses++
+	return nil
+}
+
+// Put checks a machine in under its size class, detaching any observer
+// or fault injector a request attached (pooled machines carry no
+// per-request state). When the pool is over capacity the globally
+// least-recently-used idle machine is evicted.
+func (p *Pool) Put(key Key, m *machine.M) {
+	if m == nil {
+		return
+	}
+	m.SetObserver(nil)
+	m.SetInjector(nil)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity <= 0 {
+		return
+	}
+	p.clock++
+	p.idle[key] = append(p.idle[key], pooled{m: m, seen: p.clock})
+	p.n++
+	for p.n > p.capacity {
+		p.evictOldest()
+	}
+}
+
+// evictOldest drops the least-recently-checked-in machine across every
+// class. Stacks are pushed in clock order, so each class's oldest entry
+// sits at index 0 and the scan is one comparison per class.
+func (p *Pool) evictOldest() {
+	var victim Key
+	oldest, found := ^uint64(0), false
+	for k, stack := range p.idle {
+		if len(stack) > 0 && stack[0].seen < oldest {
+			oldest, victim, found = stack[0].seen, k, true
+		}
+	}
+	if !found {
+		return
+	}
+	stack := p.idle[victim]
+	copy(stack, stack[1:])
+	stack[len(stack)-1] = pooled{}
+	p.idle[victim] = stack[:len(stack)-1]
+	p.n--
+	p.evictions++
+}
+
+// PoolStats is a snapshot of the pool's counters.
+type PoolStats struct {
+	Hits, Misses, Evictions uint64
+	Idle                    int
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Idle: p.n}
+}
+
+// IdleIn returns the number of idle machines in one size class.
+func (p *Pool) IdleIn(key Key) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle[key])
+}
+
+// Flush discards every idle machine and returns how many were dropped
+// (used by tests and cold-path benchmarks; counters are preserved).
+func (p *Pool) Flush() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dropped := p.n
+	p.idle = make(map[Key][]pooled)
+	p.n = 0
+	return dropped
+}

@@ -1,0 +1,452 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dyncg"
+	"dyncg/internal/api"
+	"dyncg/internal/fault"
+	"dyncg/internal/machine"
+	"dyncg/internal/motion"
+	"dyncg/internal/trace"
+)
+
+// Config configures a Server. The zero value gets sensible defaults.
+type Config struct {
+	// PoolCap is the maximum number of idle machines retained across all
+	// size classes (0 = 32; negative disables pooling entirely).
+	PoolCap int
+	// MaxInFlight caps concurrently executing requests (0 = GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an execution slot; beyond it
+	// requests are rejected with 429 (0 = 4×MaxInFlight).
+	MaxQueue int
+	// Deadline is the default per-request deadline, queueing included
+	// (0 = 30s). Requests may set their own via options.deadline_ms.
+	Deadline time.Duration
+	// MaxBody caps the request body size (0 = 8 MiB).
+	MaxBody int64
+	// DefaultWorkers is the worker-pool size for requests that do not set
+	// options.workers (0 = serial).
+	DefaultWorkers int
+	// Logger receives one structured record per request (nil = discard).
+	Logger *slog.Logger
+}
+
+// Server is the HTTP serving surface: POST /v1/<algorithm> for every
+// facade algorithm, plus GET /healthz and GET /metrics. Construct with
+// New, mount Handler on an http.Server, and flip SetDraining(true)
+// before shutdown so the health check fails while in-flight requests
+// finish.
+type Server struct {
+	cfg      Config
+	pool     *Pool
+	met      *Metrics
+	sem      chan struct{} // executing requests
+	queue    chan struct{} // executing + waiting requests
+	draining atomic.Bool
+	log      *slog.Logger
+	mux      *http.ServeMux
+
+	hookAdmitted func() // test seam: runs after admission, before machine checkout
+	hookRunning  func() // test seam: runs after machine checkout, before the algorithm
+}
+
+// New constructs a Server from the config (zero values defaulted).
+func New(cfg Config) *Server {
+	if cfg.PoolCap == 0 {
+		cfg.PoolCap = 32
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 30 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.PoolCap),
+		met:   NewMetrics(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxInFlight+cfg.MaxQueue),
+		log:   log,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/{algorithm}", s.handleAlgorithm)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool returns the machine pool (exposed for tests and metrics).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Metrics returns the request-metrics registry.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// SetDraining flips drain mode: /healthz turns 503 and new algorithm
+// requests are rejected, while admitted requests run to completion.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of currently executing requests.
+func (s *Server) InFlight() int { return len(s.sem) }
+
+// admit applies admission control: reject when draining, 429 when the
+// wait queue is full, then block for an execution slot until the
+// request's deadline. The returned release frees the slot.
+func (s *Server) admit(ctx context.Context) (release func(), status int, code string) {
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, "draining"
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, http.StatusTooManyRequests, "queue_full"
+	}
+	select {
+	case s.sem <- struct{}{}:
+		<-s.queue
+		if ctx.Err() != nil {
+			<-s.sem
+			return nil, http.StatusServiceUnavailable, "deadline_queued"
+		}
+		return func() { <-s.sem }, 0, ""
+	case <-ctx.Done():
+		<-s.queue
+		return nil, http.StatusServiceUnavailable, "deadline_queued"
+	}
+}
+
+// errStatus maps the facade's typed errors to HTTP statuses.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, motion.ErrBadSystem):
+		return http.StatusBadRequest, "bad_system"
+	case errors.Is(err, machine.ErrTooFewPEs):
+		return http.StatusUnprocessableEntity, "too_few_pes"
+	case errors.Is(err, fault.ErrNotSurvivable):
+		return http.StatusServiceUnavailable, "not_survivable"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func apiError(code string, err error) *api.Error {
+	return &api.Error{V: api.Version, Code: code, Err: err.Error()}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.Write(w)
+	ps := s.pool.Stats()
+	fmt.Fprintf(w, "# TYPE dyncgd_pool_checkouts_total counter\n")
+	fmt.Fprintf(w, "dyncgd_pool_checkouts_total{result=\"hit\"} %d\n", ps.Hits)
+	fmt.Fprintf(w, "dyncgd_pool_checkouts_total{result=\"miss\"} %d\n", ps.Misses)
+	fmt.Fprintf(w, "# TYPE dyncgd_pool_evictions_total counter\n")
+	fmt.Fprintf(w, "dyncgd_pool_evictions_total %d\n", ps.Evictions)
+	fmt.Fprintf(w, "# TYPE dyncgd_pool_idle gauge\n")
+	fmt.Fprintf(w, "dyncgd_pool_idle %d\n", ps.Idle)
+	fmt.Fprintf(w, "# TYPE dyncgd_inflight gauge\n")
+	fmt.Fprintf(w, "dyncgd_inflight %d\n", len(s.sem))
+	fmt.Fprintf(w, "# TYPE dyncgd_queue_depth gauge\n")
+	fmt.Fprintf(w, "dyncgd_queue_depth %d\n", len(s.queue)-len(s.sem))
+	fmt.Fprintf(w, "# TYPE dyncgd_draining gauge\n")
+	d := 0
+	if s.draining.Load() {
+		d = 1
+	}
+	fmt.Fprintf(w, "dyncgd_draining %d\n", d)
+}
+
+// handleAlgorithm serves POST /v1/<algorithm>: decode, validate, admit,
+// check out (or construct) a machine, run, convert, respond.
+func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	name := r.PathValue("algorithm")
+
+	var (
+		status int
+		out    any
+		mi     api.MachineInfo
+		pi     api.PoolInfo
+		sysN   int
+		sim    int64
+		errMsg string
+	)
+	defer func() {
+		writeJSON(w, status, out)
+		lat := time.Since(started)
+		s.met.Observe(name, status, lat)
+		lvl := slog.LevelInfo
+		if status >= http.StatusInternalServerError {
+			lvl = slog.LevelError
+		}
+		s.log.LogAttrs(r.Context(), lvl, "request",
+			slog.String("algorithm", name),
+			slog.Int("status", status),
+			slog.Duration("latency", lat),
+			slog.Int("n", sysN),
+			slog.String("topology", mi.Topology),
+			slog.Int("pes", mi.PEs),
+			slog.Int("workers", mi.Workers),
+			slog.Bool("pool_hit", pi.Hit),
+			slog.Bool("pool_bypassed", pi.Bypassed),
+			slog.Int64("sim_time", sim),
+			slog.String("error", errMsg),
+		)
+	}()
+	fail := func(st int, code string, err error) {
+		status, out, errMsg = st, apiError(code, err), err.Error()
+	}
+
+	alg, ok := algorithms[name]
+	if !ok {
+		fail(http.StatusNotFound, "unknown_algorithm",
+			fmt.Errorf("server: unknown algorithm %q", name))
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	var req api.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		st := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			st = http.StatusRequestEntityTooLarge
+		}
+		fail(st, "bad_request", fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	if req.V != api.Version {
+		fail(http.StatusBadRequest, "bad_version",
+			fmt.Errorf("server: unsupported schema version %d (want %d)", req.V, api.Version))
+		return
+	}
+
+	topoName := req.Options.Topology
+	if topoName == "" {
+		topoName = string(dyncg.Hypercube)
+	}
+	topo, err := dyncg.ParseTopology(topoName)
+	if err != nil {
+		fail(http.StatusBadRequest, "bad_topology", err)
+		return
+	}
+	spec, err := fault.ParseSpec(req.Options.Faults)
+	if err != nil {
+		fail(http.StatusBadRequest, "bad_faults", err)
+		return
+	}
+	sys, err := systemFrom(req.System)
+	if err != nil {
+		st, code := errStatus(err)
+		fail(st, code, err)
+		return
+	}
+	sysN = sys.N()
+
+	// Normalise the worker count so it can key the machine pool: the
+	// constructed machine's Workers() is GOMAXPROCS for negative values
+	// and 1 (serial) for 0 or 1.
+	workers := req.Options.Workers
+	if workers == 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	infoWorkers := 0
+	if workers > 1 {
+		infoWorkers = workers
+	}
+
+	need := alg.pes(string(topo), sys)
+	if req.Options.PEs > need {
+		need = req.Options.PEs
+	}
+	classSize, err := dyncg.TopologySize(topo, need)
+	if err != nil {
+		st, code := errStatus(err)
+		fail(st, code, err)
+		return
+	}
+
+	deadline := s.cfg.Deadline
+	if req.Options.DeadlineMs > 0 {
+		deadline = time.Duration(req.Options.DeadlineMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	release, st, code := s.admit(ctx)
+	if st != 0 {
+		fail(st, code, fmt.Errorf("server: request not admitted: %s", code))
+		return
+	}
+	defer release()
+	if s.hookAdmitted != nil {
+		s.hookAdmitted()
+	}
+	if ctx.Err() != nil {
+		fail(http.StatusServiceUnavailable, "deadline_queued",
+			fmt.Errorf("server: deadline expired before execution: %w", ctx.Err()))
+		return
+	}
+
+	var (
+		stats    machine.Stats
+		freport  *api.FaultReport
+		tr       *trace.Tracer
+		result   any
+		runErr   error
+		costTree string
+	)
+	if !spec.Zero() {
+		// Fault-injected runs bypass the pool: the recovery harness owns
+		// machine construction across its remap-and-rerun attempts.
+		pi.Bypassed = true
+		net, err := dyncg.NewNetwork(topo, need)
+		if err != nil {
+			st, code := errStatus(err)
+			fail(st, code, err)
+			return
+		}
+		plan := fault.NewPlan(spec, req.Options.FaultSeed)
+		var ropts []fault.RunOption
+		if workers > 1 {
+			ropts = append(ropts, fault.WithMachineOptions(machine.WithParallel(workers)))
+		}
+		if req.Options.Trace {
+			// A fresh tracer per attempt; the final attempt's tree is the
+			// one reported (aborted attempts die mid-span).
+			ropts = append(ropts, fault.WithAttach(func(fm *machine.M, attempt int) {
+				tr = trace.Attach(fm, name)
+			}))
+		}
+		res, err := fault.Run(net, plan, func(fm *machine.M) error {
+			if alg.minSize != nil && fm.Size() < alg.minSize(sys) {
+				return fmt.Errorf("server: %s needs %d PEs, machine has %d: %w",
+					name, alg.minSize(sys), fm.Size(), machine.ErrTooFewPEs)
+			}
+			var err error
+			result, err = alg.run(fm, sys, &req)
+			return err
+		}, ropts...)
+		runErr = err
+		if res != nil {
+			stats = res.Stats
+			mi = api.MachineInfo{Topology: string(topo), PEs: res.Topo.Size(), Workers: infoWorkers}
+			freport = &api.FaultReport{
+				Attempts:    res.Attempts,
+				Transients:  res.Transients,
+				RetryRounds: res.RetryRounds,
+				Failed:      res.Failed,
+			}
+		}
+	} else {
+		key := Key{Topo: string(topo), PEs: classSize, Workers: workers}
+		m := s.pool.Get(key)
+		pi.Hit = m != nil
+		if m == nil {
+			var mopts []dyncg.MachineOption
+			if workers > 1 {
+				mopts = append(mopts, dyncg.WithParallel(workers))
+			}
+			m, err = dyncg.NewMachine(topo, need, mopts...)
+			if err != nil {
+				st, code := errStatus(err)
+				fail(st, code, err)
+				return
+			}
+		}
+		defer s.pool.Put(key, m)
+		mi = api.MachineInfo{Topology: string(topo), PEs: m.Size(), Workers: infoWorkers}
+		if alg.minSize != nil && m.Size() < alg.minSize(sys) {
+			runErr = fmt.Errorf("server: %s needs %d PEs, machine has %d: %w",
+				name, alg.minSize(sys), m.Size(), machine.ErrTooFewPEs)
+		} else {
+			if req.Options.Trace {
+				tr = trace.Attach(m, name)
+			}
+			if s.hookRunning != nil {
+				s.hookRunning()
+			}
+			result, runErr = alg.run(m, sys, &req)
+			stats = m.Stats()
+		}
+	}
+	sim = stats.Time()
+
+	if tr != nil {
+		root := tr.Finish()
+		if runErr == nil {
+			var buf bytes.Buffer
+			trace.WriteCostTree(&buf, root, req.Options.CostDepth)
+			costTree = buf.String()
+		}
+	}
+	if runErr != nil {
+		st, code := errStatus(runErr)
+		fail(st, code, runErr)
+		return
+	}
+	if ctx.Err() != nil {
+		fail(http.StatusGatewayTimeout, "deadline_exceeded",
+			fmt.Errorf("server: deadline expired during execution: %w", ctx.Err()))
+		return
+	}
+
+	status = http.StatusOK
+	out = &api.Response{
+		V:         api.Version,
+		Algorithm: name,
+		Machine:   mi,
+		Stats:     api.FromStats(stats),
+		Pool:      pi,
+		Fault:     freport,
+		CostTree:  costTree,
+		Result:    result,
+	}
+}

@@ -5,9 +5,11 @@
 #   scripts/bench.sh -check   run the pinned suite and gate it against the
 #                             committed BENCH_perf.json (CI: bench-smoke)
 #
-# The suite is BenchmarkPerf*/ in bench_perf_test.go: every Table-1
+# The suite is BenchmarkPerf*/ in bench_perf_test.go — every Table-1
 # primitive x topology x n plus a composite grouping workload, measured
-# with -benchmem in steady state on a warm machine. The iteration count is
+# with -benchmem in steady state on a warm machine — plus BenchmarkServer
+# in internal/server: one full daemon request (decode, admission, pool,
+# algorithm, encode) on a warm and a cold pool. The iteration count is
 # pinned (-benchtime 100x) so allocs/op is deterministic and comparable
 # across hosts; cmd/benchgate documents the per-metric gate tolerances
 # (allocs/op tight, B/op medium, ns/op catastrophic-only — shared runners
@@ -22,8 +24,8 @@ mode=${1:-refresh}
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "==> go test -bench BenchmarkPerf -benchtime $benchtime -benchmem"
-go test -run '^$' -bench 'BenchmarkPerf' -benchtime "$benchtime" -benchmem . | tee "$out"
+echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer' -benchtime $benchtime -benchmem"
+go test -run '^$' -bench 'BenchmarkPerf|BenchmarkServer' -benchtime "$benchtime" -benchmem . ./internal/server | tee "$out"
 
 case "$mode" in
 -check)

@@ -1,0 +1,94 @@
+#!/bin/sh
+# End-to-end smoke test for the serving daemon (CI: server-smoke).
+#
+# Builds cmd/dyncgd, starts it on a local port, and drives the full
+# operational surface over real HTTP: /healthz, one algorithm per
+# results table (§4 transient, §5 steady-state, §4.2 pair sequence), a
+# repeat request that must be served by the warm pool, a fault-injected
+# request through the recovery harness, /metrics, and finally a SIGTERM
+# drain that must exit cleanly within the grace period.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+addr=${DYNCGD_ADDR:-127.0.0.1:18080}
+base="http://$addr"
+
+echo "==> go build ./cmd/dyncgd"
+go build -o /tmp/dyncgd.smoke ./cmd/dyncgd
+
+/tmp/dyncgd.smoke -addr "$addr" -log text 2>/tmp/dyncgd.smoke.log &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -f /tmp/dyncgd.smoke' EXIT
+
+# Wait for the listener (the daemon is up within milliseconds; CI
+# runners get a generous 5s).
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "server_smoke: daemon never became healthy" >&2
+        cat /tmp/dyncgd.smoke.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "==> healthz OK"
+
+# A three-point system: P0 fixed at the origin, P1 flying east, P2
+# diving toward P0 (the quickstart system).
+sys='[[[0],[0]],[[1,2],[0]],[[0],[20,-1]]]'
+
+post() { # post <algorithm> <json-body> — prints the response body
+    curl -fsS -X POST "$base/v1/$1" -H 'Content-Type: application/json' -d "$2"
+}
+
+expect() { # expect <label> <needle> <haystack>
+    case "$3" in
+    *"$2"*) echo "==> $1 OK" ;;
+    *)
+        echo "server_smoke: $1: expected $2 in response: $3" >&2
+        exit 1
+        ;;
+    esac
+}
+
+# Table 1 (§4 transient): the closest-point sequence must report the
+# P1 → P2 handoff.
+r=$(post closest-point-sequence "{\"v\":1,\"system\":$sys,\"origin\":0}")
+expect "closest-point-sequence" '"algorithm":"closest-point-sequence"' "$r"
+expect "closest-point-sequence events" '"point":2' "$r"
+
+# Table 2 (§5 steady state) on the mesh.
+r=$(post steady-hull "{\"v\":1,\"system\":$sys,\"options\":{\"topology\":\"mesh\"}}")
+expect "steady-hull (mesh)" '"topology":"mesh"' "$r"
+
+# Table 3 (§4.2 pair sequences).
+r=$(post closest-pair-sequence "{\"v\":1,\"system\":$sys}")
+expect "closest-pair-sequence" '"algorithm":"closest-pair-sequence"' "$r"
+
+# The repeat of the first request must hit the warm pool.
+r=$(post closest-point-sequence "{\"v\":1,\"system\":$sys,\"origin\":0}")
+expect "pool reuse" '"hit":true' "$r"
+
+# A fault-injected request runs through the recovery harness and
+# reports its attempts.
+r=$(post steady-hull "{\"v\":1,\"system\":$sys,\"options\":{\"faults\":\"transient=0.05,retries=3\",\"fault_seed\":7}}")
+expect "faulted request" '"fault"' "$r"
+
+# Operational metrics.
+r=$(curl -fsS "$base/metrics")
+expect "metrics" 'dyncgd_requests_total' "$r"
+expect "metrics pool" 'dyncgd_pool_checkouts_total{result="hit"}' "$r"
+
+# Graceful drain: SIGTERM must flip health to 503 and exit 0.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "server_smoke: daemon exited $rc on SIGTERM" >&2
+    cat /tmp/dyncgd.smoke.log >&2
+    exit 1
+fi
+echo "==> graceful drain OK"
+echo "server_smoke: OK"
