@@ -13,12 +13,23 @@
 //	  "options": {"topology": "hypercube"}
 //	}'
 //
+// Stateful scenario sessions pin a warm machine across requests and
+// apply trajectory deltas with incremental recompute:
+//
+//	curl -s -X POST localhost:8080/v1/sessions -d '{...}'         # create
+//	curl -s -X POST localhost:8080/v1/sessions/{id}/update -d ...  # batch deltas
+//	curl -s localhost:8080/v1/sessions/{id}/query                  # maintained answer
+//	curl -s -X DELETE localhost:8080/v1/sessions/{id}              # release machine
+//
+// -max-sessions caps concurrently live sessions; -session-ttl evicts
+// idle ones (their machines return to the warm pool).
+//
 // Operational endpoints: GET /healthz (200 while serving, 503 while
 // draining) and GET /metrics (Prometheus text format: per-algorithm
 // request counts and latency histograms, pool hit/miss/eviction
-// counters, queue depth). On SIGINT/SIGTERM the daemon drains: health
-// flips to 503, new requests are rejected, and in-flight requests get
-// -drain-timeout to finish.
+// counters, queue depth, session gauges and update latency). On
+// SIGINT/SIGTERM the daemon drains: health flips to 503, new requests
+// are rejected, and in-flight requests get -drain-timeout to finish.
 package main
 
 import (
@@ -44,6 +55,8 @@ var (
 	deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline, queueing included")
 	workers      = flag.Int("workers", 0, "default worker-pool size for requests that do not set options.workers (0 = serial)")
 	drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	maxSessions  = flag.Int("max-sessions", 0, "max concurrently live scenario sessions (0 = 64, negative = unbounded)")
+	sessionTTL   = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = 15m, negative disables eviction)")
 	logFormat    = flag.String("log", "json", "request log format: json|text")
 )
 
@@ -68,6 +81,8 @@ func main() {
 		MaxQueue:       *maxQueue,
 		Deadline:       *deadline,
 		DefaultWorkers: *workers,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 		Logger:         log,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,102 +1,152 @@
-// Long-horizon tracking: the steady-state questions of §5. A sensor
-// network tracks a dispersing cloud of targets (pattern-recognition /
-// surveillance motivation of §1) and asks what the configuration looks
-// like "in the limit":
+// Long-horizon tracking on the streaming API: the surveillance
+// motivation of §1 (a sensor network tracking a cloud of targets) as a
+// batch-dynamic scenario session. Instead of re-running Theorem 4.1 from
+// scratch every time the picture changes, the session keeps the merge
+// tree of distance envelopes resident and each scan streams a delta
+// batch — new contacts appear, stale tracks drop, course changes
+// retarget — redoing only the O(k log n) dirty merge paths.
 //
-//   - which targets form the convex hull of the cloud eventually
-//     (Proposition 5.4),
-//   - which pair ends up farthest apart and how the squared diameter
-//     grows with time (Proposition 5.6, Corollary 5.7),
-//   - the eventual minimal-area bounding rectangle and its area as a
-//     function of time (Theorem 5.8, Corollary 5.9), and
-//   - the eventual nearest neighbour of a chosen target
-//     (Proposition 5.2).
+// Every scan's maintained closest-target sequence is bit-identical to a
+// from-scratch rebuild on the same machine (the session contract); the
+// example audits one scan against Session.Rebuild and reports the
+// incremental work the batch actually caused.
+//
+// The epilogue asks a §5 steady-state question of the final picture —
+// which surviving targets form the eventual convex hull (Proposition
+// 5.4) — showing the one-shot and streaming surfaces side by side.
 //
 // Run: go run ./examples/tracking
 package main
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
+	"reflect"
 
 	"dyncg"
 )
 
+const capacity = 32 // max live targets over the session's lifetime
+
 func main() {
 	r := rand.New(rand.NewSource(5))
-	// Targets radiate from a small region with distinct headings; two
-	// stragglers stay put (and so end up interior).
-	var targets []dyncg.Point
-	n := 14
-	for i := 0; i < n; i++ {
-		u := 2*float64(i)/float64(n) - 1
-		den := 1 + u*u
-		vx, vy := (1-u*u)/den, 2*u/den // unit headings around the circle
-		targets = append(targets, dyncg.NewPoint(
-			dyncg.Polynomial(r.Float64()*4-2, vx*(1+r.Float64())),
-			dyncg.Polynomial(r.Float64()*4-2, vy*(1+r.Float64())),
-		))
+
+	// Initial picture: the sensor (target 0, stationary at the origin)
+	// plus a dozen contacts radiating outward with distinct headings.
+	targets := []dyncg.Point{
+		dyncg.NewPoint(dyncg.Polynomial(0), dyncg.Polynomial(0)),
 	}
-	targets = append(targets,
-		dyncg.NewPoint(dyncg.Polynomial(0.5), dyncg.Polynomial(0.25)),
-		dyncg.NewPoint(dyncg.Polynomial(-0.5), dyncg.Polynomial(-0.25)),
-	)
+	n := 12
+	for i := 0; i < n; i++ {
+		targets = append(targets, contact(r, i, n))
+	}
 	sys, err := dyncg.NewSystem(targets)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("tracking %d targets (k=%d motion)\n\n", sys.N(), sys.K)
 
-	// Steady-state hull.
-	m := cube(8 * sys.N())
-	hull, err := dyncg.SteadyHull(m, sys)
+	// One machine, sized once for the session's whole lifetime, then
+	// pinned: λ-envelope capacity for 32 targets of degree sys.K.
+	pes, err := dyncg.SessionPEs(dyncg.Hypercube, dyncg.SessionClosestPointSeq, capacity, sys.K)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("eventual hull (%d of %d targets, CCW): %v\n", len(hull), sys.N(), hull)
-	fmt.Printf("  [static stragglers #%d and #%d are eventually interior]\n\n", n, n+1)
+	m, err := dyncg.NewMachine(dyncg.Hypercube, pes)
+	if err != nil {
+		panic(err)
+	}
+	s, err := dyncg.NewSession(m, dyncg.SessionConfig{
+		Algorithm: dyncg.SessionClosestPointSeq,
+		Origin:    0,
+		Capacity:  capacity,
+	}, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tracking session: %d contacts on a %d-PE hypercube (capacity %d)\n\n",
+		sys.N()-1, pes, capacity)
+	report(s)
 
-	// Farthest pair and the diameter function.
-	m2 := cube(8 * sys.N())
-	a, b, d2, err := dyncg.SteadyFarthestPair(m2, sys)
+	// Scan 1: two new contacts appear, one track goes stale.
+	ids, stats, err := s.Apply(
+		dyncg.InsertPoint(contact(r, n, n)),
+		dyncg.InsertPoint(contact(r, n+1, n)),
+		dyncg.DeletePoint(3),
+	)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("eventual farthest pair: #%d and #%d\n", a, b)
-	fmt.Printf("  squared diameter function: d²(t) = %v\n", d2)
-	fmt.Printf("  e.g. d(100) = %.2f, d(1000) = %.2f\n\n",
-		math.Sqrt(d2.Eval(100)), math.Sqrt(d2.Eval(1000)))
+	fmt.Printf("scan 1: +2 contacts (ids %v), -1 stale track — %d dirty leaves, %d merged nodes\n",
+		ids, stats.DirtyLeaves, stats.MergedNodes)
+	report(s)
 
-	// Minimal-area bounding rectangle in the limit.
-	m3 := cube(8 * sys.N())
-	rect, err := dyncg.SteadyMinAreaRect(m3, sys)
+	// Scan 2: a course change — contact 5 turns toward the sensor.
+	_, stats, err = s.Apply(dyncg.RetargetPoint(5,
+		dyncg.NewPoint(dyncg.Polynomial(8, -1), dyncg.Polynomial(6, -0.75))))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("eventual min-area bounding rectangle: base on hull edge %d\n", rect.Edge)
-	fmt.Printf("  area(t) → %v (area at t=1000: %.1f)\n\n", rect.Area, rect.Area.Eval(1000))
+	fmt.Printf("scan 2: contact 5 turns inbound — %d dirty leaves, %d merged nodes\n",
+		stats.DirtyLeaves, stats.MergedNodes)
+	report(s)
 
-	// Steady-state nearest neighbour of target 0.
-	m4, err := dyncg.NewMachine(dyncg.Mesh, sys.N())
+	// Audit the session contract: the maintained answer must be
+	// bit-identical to a from-scratch rebuild on the same machine.
+	rebuilt, err := s.Rebuild()
 	if err != nil {
 		panic(err)
 	}
-	nn, err := dyncg.SteadyNearestNeighbor(m4, sys, 0, false)
+	if !reflect.DeepEqual(s.Result(), rebuilt) {
+		panic("maintained result diverged from from-scratch rebuild")
+	}
+	fmt.Printf("audit: maintained sequence bit-identical to a from-scratch rebuild (%d batches applied)\n\n",
+		s.Updates())
+
+	// Epilogue (§5): which surviving targets form the eventual hull of
+	// the final picture (Proposition 5.4), via the one-shot surface.
+	var finalPts []dyncg.Point
+	live := s.Points()
+	for _, id := range live {
+		p, _ := s.Point(id)
+		finalPts = append(finalPts, p)
+	}
+	finalSys, err := dyncg.NewSystem(finalPts)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("eventual nearest neighbour of #0: #%d\n", nn)
-	fmt.Printf("simulated times: hull %d, farthest %d, rect %d, NN %d steps\n",
-		m.Stats().Time(), m2.Stats().Time(), m3.Stats().Time(), m4.Stats().Time())
+	hm, err := dyncg.NewMachine(dyncg.Hypercube, 8*finalSys.N())
+	if err != nil {
+		panic(err)
+	}
+	hull, err := dyncg.SteadyHull(hm, finalSys)
+	if err != nil {
+		panic(err)
+	}
+	ids = make([]int, len(hull))
+	for i, h := range hull {
+		ids[i] = live[h]
+	}
+	fmt.Printf("eventual hull of the final picture (Proposition 5.4): targets %v\n", ids)
 }
 
-// cube builds an n-PE hypercube machine through the options facade,
-// panicking on bad sizes — fine for an example, use the error in real code.
-func cube(n int) *dyncg.Machine {
-	m, err := dyncg.NewMachine(dyncg.Hypercube, n)
-	if err != nil {
-		panic(err)
+// contact builds the i-th radiating contact: distinct heading around the
+// circle, random launch point near the sensor.
+func contact(r *rand.Rand, i, n int) dyncg.Point {
+	u := 2*float64(i%n)/float64(n) - 1 + 0.01*float64(i/n)
+	den := 1 + u*u
+	vx, vy := (1-u*u)/den, 2*u/den
+	return dyncg.NewPoint(
+		dyncg.Polynomial(r.Float64()*4-2, vx*(1+r.Float64())),
+		dyncg.Polynomial(r.Float64()*4-2, vy*(1+r.Float64())),
+	)
+}
+
+// report prints the maintained closest-target sequence: who is nearest
+// the sensor on which time interval (Theorem 4.1, kept current by the
+// session instead of recomputed).
+func report(s *dyncg.Session) {
+	for _, ev := range s.Result().Neighbors {
+		fmt.Printf("  closest on [%g, %g): target %d\n", ev.Lo, ev.Hi, ev.Point)
 	}
-	return m
+	fmt.Println()
 }

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenSession pins the v1 session wire schema — every envelope of
+// the stateful /v1/sessions surface in one file, next to the one-shot
+// schema pins.
+func TestGoldenSession(t *testing.T) {
+	verified := true
+	golden(t, "v1_session.json", map[string]any{
+		"create_request": SessionCreateRequest{
+			V:         Version,
+			Algorithm: "closest-point-sequence",
+			System: [][][]float64{
+				{{0}, {0}},
+				{{1, 2}, {0}},
+				{{0}, {20, -1}},
+			},
+			Origin: 0,
+			Options: SessionOptions{
+				Topology:   "hypercube",
+				Workers:    2,
+				Capacity:   16,
+				MaxDegree:  2,
+				DeadlineMs: 2000,
+			},
+		},
+		"create_response": SessionCreateResponse{
+			V: Version,
+			Session: SessionInfo{
+				ID:        "s-1-0a1b2c3d",
+				Algorithm: "closest-point-sequence",
+				Machine:   MachineInfo{Topology: "hypercube", PEs: 256, Workers: 2},
+				Capacity:  16,
+				MaxDegree: 2,
+				Origin:    0,
+				Points:    []int{0, 1, 2},
+			},
+			Pool:  PoolInfo{Hit: true},
+			Stats: Stats{Time: 321, CommSteps: 120, LocalSteps: 201, Rounds: 60, Messages: 1800},
+			Result: []NeighborEvent{
+				{Point: 1, Lo: 0, Hi: Time(19.0 / 3)},
+				{Point: 2, Lo: Time(19.0 / 3), Hi: Time(math.Inf(1))},
+			},
+		},
+		"update_request": SessionUpdateRequest{
+			V: Version,
+			Deltas: []SessionDelta{
+				{Op: "insert", Point: [][]float64{{5, 1}, {-3}}},
+				{Op: "retarget", ID: 1, Point: [][]float64{{1}, {2, 2}}},
+				{Op: "delete", ID: 2},
+			},
+		},
+		"update_response": SessionUpdateResponse{
+			V: Version,
+			Session: SessionInfo{
+				ID:        "s-1-0a1b2c3d",
+				Algorithm: "closest-point-sequence",
+				Machine:   MachineInfo{Topology: "hypercube", PEs: 256, Workers: 2},
+				Capacity:  16,
+				MaxDegree: 2,
+				Origin:    0,
+				Points:    []int{0, 1, 3},
+				Updates:   1,
+			},
+			Inserted:    []int{3},
+			DirtyLeaves: 3,
+			MergedNodes: 9,
+			Stats:       Stats{Time: 41, CommSteps: 18, LocalSteps: 23, Rounds: 9, Messages: 210},
+			Result: []NeighborEvent{
+				{Point: 3, Lo: 0, Hi: Time(math.Inf(1))},
+			},
+		},
+		"query_response": SessionQueryResponse{
+			V: Version,
+			Session: SessionInfo{
+				ID:        "s-1-0a1b2c3d",
+				Algorithm: "closest-point-sequence",
+				Machine:   MachineInfo{Topology: "hypercube", PEs: 256, Workers: 2},
+				Capacity:  16,
+				MaxDegree: 2,
+				Origin:    0,
+				Points:    []int{0, 1, 3},
+				Updates:   1,
+			},
+			Result: []NeighborEvent{
+				{Point: 3, Lo: 0, Hi: Time(math.Inf(1))},
+			},
+			Verified: &verified,
+		},
+		"delete_response": SessionDeleteResponse{
+			V:       Version,
+			ID:      "s-1-0a1b2c3d",
+			Updates: 1,
+		},
+	})
+}

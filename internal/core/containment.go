@@ -37,13 +37,26 @@ func spanFunctions(m *machine.M, sys *motion.System) ([]pieces.Piecewise, error)
 		if err != nil {
 			return nil, fmt.Errorf("core: M_%d: %w", i, err)
 		}
-		diff, err := penvelope.Combine2(m, hi, lo, windowDiffFor(i))
+		out[i], err = SpanFromEnvelopes(m, hi, lo, i)
 		if err != nil {
-			return nil, fmt.Errorf("core: D_%d: %w", i, err)
+			return nil, err
 		}
-		out[i] = diff
 	}
 	return out, nil
+}
+
+// SpanFromEnvelopes derives one coordinate's span function
+// D_i(t) = M_i(t) − m_i(t) from its already-built max and min coordinate
+// envelopes — one Lemma 3.1 pass (Theorem 4.6 Step 2). It is the shared
+// derivation layer between the one-shot algorithms here (which build hi
+// and lo from scratch) and the batch-dynamic session engine of
+// internal/session (which maintains them in retained merge trees).
+func SpanFromEnvelopes(m *machine.M, hi, lo pieces.Piecewise, coord int) (pieces.Piecewise, error) {
+	diff, err := penvelope.Combine2(m, hi, lo, windowDiffFor(coord))
+	if err != nil {
+		return nil, fmt.Errorf("core: D_%d: %w", coord, err)
+	}
+	return diff, nil
 }
 
 // windowDiffFor returns the window combiner emitting the difference
@@ -129,6 +142,17 @@ func ContainmentIntervals(m *machine.M, sys *motion.System, dims []float64) ([]I
 	if err != nil {
 		return nil, err
 	}
+	return ContainmentFromSpans(m, spans, dims)
+}
+
+// ContainmentFromSpans runs Theorem 4.6 Steps 3–5 on already-built span
+// functions: threshold each D_i into the indicator W_i(t) = [D_i(t) ≤
+// X_i], intersect via Θ(d) Lemma 3.1 passes, and pack the C(t) = 1
+// intervals.
+func ContainmentFromSpans(m *machine.M, spans []pieces.Piecewise, dims []float64) ([]Interval, error) {
+	if len(dims) != len(spans) {
+		return nil, fmt.Errorf("core: %d dims for %d span functions: %w", len(dims), len(spans), motion.ErrBadSystem)
+	}
 	// Step 3: per-coordinate indicators W_i(t) = [D_i(t) ≤ X_i].
 	var c pieces.Piecewise
 	for i, di := range spans {
@@ -164,7 +188,18 @@ func SmallestHypercubeEdge(m *machine.M, sys *motion.System) (pieces.Piecewise, 
 	if err != nil {
 		return nil, err
 	}
+	return EdgeFromSpans(m, spans)
+}
+
+// EdgeFromSpans derives the cube-edge function D(t) = max_i D_i(t) from
+// already-built span functions — Θ(d) Lemma 3.1 passes (Theorem 4.7's
+// final step).
+func EdgeFromSpans(m *machine.M, spans []pieces.Piecewise) (pieces.Piecewise, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("core: no span functions: %w", motion.ErrBadSystem)
+	}
 	d := spans[0]
+	var err error
 	for _, di := range spans[1:] {
 		d, err = penvelope.MergeMinMax(m, d, di, pieces.Max)
 		if err != nil {
@@ -187,6 +222,14 @@ func SmallestEverHypercube(m *machine.M, sys *motion.System) (dmin, tmin float64
 	if err != nil {
 		return 0, 0, err
 	}
+	return MinimizeEdge(m, d)
+}
+
+// MinimizeEdge minimises a cube-edge function over all t ≥ 0
+// (Corollary 4.8's final step): each PE minimises its Θ(1) pieces
+// locally, then one semigroup selects the global minimum and a time
+// attaining it.
+func MinimizeEdge(m *machine.M, d pieces.Piecewise) (dmin, tmin float64, err error) {
 	type cand struct{ v, t float64 }
 	n := m.Size()
 	regs := make([]machine.Reg[cand], n)

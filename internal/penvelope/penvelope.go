@@ -22,6 +22,7 @@
 package penvelope
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -32,6 +33,14 @@ import (
 	"dyncg/internal/par"
 	"dyncg/internal/pieces"
 )
+
+// ErrBlockCapacity reports that a merge level emitted more pieces than
+// an aligned block can hold one-per-PE. Under the MeshPEs/CubePEs
+// allocation (N ≥ 4·λ(n, s)) this never fires for from-scratch
+// envelopes; the retained MergeTree deliberately re-merges dirty nodes
+// in under-sized scratch blocks and uses this sentinel to retry with a
+// doubled block (see mergeNode).
+var ErrBlockCapacity = errors.New("penvelope: block capacity exceeded (λ under-allocation)")
 
 // kindName names the envelope kind in trace spans.
 func kindName(kind pieces.Kind) string {
@@ -75,6 +84,16 @@ func mergeSeen(a, b lastSeen) lastSeen {
 // per PE, exactly as Theorem 3.2 promises) and the machine's counters
 // hold the simulated parallel time.
 func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Piecewise, error) {
+	return envelope(m, fs, kind, nil)
+}
+
+// envelope is the body of Envelope with an optional per-level snapshot
+// hook: after every completed merge level, snap receives the block size
+// and the register file, whose aligned blocks hold the sorted,
+// front-packed envelopes of their function groups. NewMergeTree uses the
+// hook to capture every internal node of the recursion tree in one
+// bottom-up pass.
+func envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind, snap func(block int, regs []machine.Reg[envReg])) (pieces.Piecewise, error) {
 	n := len(fs)
 	N := m.Size()
 	if n == 0 {
@@ -118,6 +137,9 @@ func Envelope(m *machine.M, fs []pieces.Piecewise, kind pieces.Kind) (pieces.Pie
 	for block := stride * 2; block <= N; block *= 2 {
 		if err := mergeLevel(m, regs, block, window); err != nil {
 			return nil, err
+		}
+		if snap != nil {
+			snap(block, regs)
 		}
 	}
 	out := pieces.Piecewise{}
@@ -256,7 +278,7 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 		base := (i/block)*block + counts[i].V - len(emitted[i])
 		for j, p := range emitted[i] {
 			if base+j >= (i/block+1)*block {
-				return fmt.Errorf("penvelope: block capacity exceeded at level %d (λ under-allocation)", block)
+				return fmt.Errorf("%w at level %d", ErrBlockCapacity, block)
 			}
 			out[base+j] = machine.Some(envReg{p: p})
 		}

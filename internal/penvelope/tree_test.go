@@ -1,0 +1,189 @@
+package penvelope
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dyncg/internal/curve"
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/mesh"
+	"dyncg/internal/pieces"
+	"dyncg/internal/poly"
+)
+
+// identicalPiecewise asserts byte-for-byte equality — the merge tree's
+// contract is bit-identity with the from-scratch construction, stronger
+// than the tolerance-based samePiecewise of the parallel/serial
+// comparisons.
+func identicalPiecewise(t *testing.T, got, want pieces.Piecewise, label string) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: incremental and from-scratch results differ\n got: %v\nwant: %v", label, got, want)
+	}
+}
+
+func leavesOf(r *rand.Rand, n, deg int) []pieces.Piecewise {
+	cs := randomCurves(r, n, deg)
+	fs := make([]pieces.Piecewise, n)
+	for i, c := range cs {
+		fs[i] = pieces.Total(c, i)
+	}
+	return fs
+}
+
+// TestMergeTreeBuildMatchesEnvelope: the freshly built tree's root must
+// be bit-identical to a plain Envelope pass over the same slot layout.
+func TestMergeTreeBuildMatchesEnvelope(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		fs := leavesOf(r, n, 2)
+		m := machine.New(hypercube.MustNew(CubePEs(n, 4)))
+		tr, err := NewMergeTree(m, fs, pieces.Min)
+		if err != nil {
+			t.Fatalf("n=%d: NewMergeTree: %v", n, err)
+		}
+		m2 := machine.New(hypercube.MustNew(CubePEs(n, 4)))
+		// Envelope over the padded slot array (the tree's layout).
+		padded := make([]pieces.Piecewise, tr.Slots())
+		copy(padded, fs)
+		want, err := Envelope(m2, padded, pieces.Min)
+		if err != nil {
+			t.Fatalf("n=%d: Envelope: %v", n, err)
+		}
+		identicalPiecewise(t, tr.Root(), want, "build root")
+	}
+}
+
+// TestMergeTreeUpdateMatchesRebuild drives random update batches through
+// the retained tree and checks every root against a from-scratch rebuild
+// on the same machine — the bit-identity contract — on both topologies.
+func TestMergeTreeUpdateMatchesRebuild(t *testing.T) {
+	const n, deg = 16, 2
+	machines := map[string]func() *machine.M{
+		"hypercube": func() *machine.M { return machine.New(hypercube.MustNew(CubePEs(n, 2*deg))) },
+		"mesh":      func() *machine.M { return machine.New(mesh.MustNew(MeshPEs(n, 2*deg), mesh.Proximity)) },
+	}
+	for topo, mk := range machines {
+		t.Run(topo, func(t *testing.T) {
+			r := rand.New(rand.NewSource(88))
+			m := mk()
+			fs := leavesOf(r, n, deg)
+			tr, err := NewMergeTree(m, fs, pieces.Min)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 12; round++ {
+				k := 1 + r.Intn(6)
+				ups := make([]TreeUpdate, k)
+				for i := range ups {
+					slot := r.Intn(tr.Slots())
+					switch r.Intn(3) {
+					case 0: // delete
+						ups[i] = TreeUpdate{Slot: slot}
+					default: // insert / replace
+						c := randomCurves(r, 1, deg)[0]
+						ups[i] = TreeUpdate{Slot: slot, F: pieces.Total(c, slot)}
+					}
+				}
+				st, err := tr.Update(m, ups)
+				if err != nil {
+					t.Fatalf("round %d: Update: %v", round, err)
+				}
+				if st.DirtyLeaves < 1 || st.DirtyLeaves > k {
+					t.Fatalf("round %d: DirtyLeaves = %d for batch of %d", round, st.DirtyLeaves, k)
+				}
+				want, err := tr.Rebuild(m)
+				if err != nil {
+					t.Fatalf("round %d: Rebuild: %v", round, err)
+				}
+				identicalPiecewise(t, tr.Root(), want, "updated root")
+			}
+		})
+	}
+}
+
+// TestMergeTreeUpdateIsSublinear: a one-leaf update must do much less
+// simulated *work* (messages moved) than a from-scratch rebuild, and no
+// more simulated time. (The rebuild's parallel span is already Θ(log² n)
+// on these machines, so the dirty-path win shows up in total work — and
+// in host wall-clock, which BenchmarkSessionUpdate pins — rather than in
+// a large span gap.)
+func TestMergeTreeUpdateIsSublinear(t *testing.T) {
+	const n = 64
+	r := rand.New(rand.NewSource(7))
+	m := machine.New(hypercube.MustNew(CubePEs(n, 2)))
+	tr, err := NewMergeTree(m, leavesOf(r, n, 1), pieces.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	c := randomCurves(r, 1, 1)[0]
+	if _, err := tr.Update(m, []TreeUpdate{{Slot: 5, F: pieces.Total(c, 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	incr := m.Stats().Sub(before)
+	before = m.Stats()
+	if _, err := tr.Rebuild(m); err != nil {
+		t.Fatal(err)
+	}
+	full := m.Stats().Sub(before)
+	if incr.Messages*2 >= full.Messages {
+		t.Fatalf("one-leaf update moved %d messages, not well below the rebuild's %d",
+			incr.Messages, full.Messages)
+	}
+	if incr.Time() >= full.Time() {
+		t.Fatalf("one-leaf update span %d not below rebuild span %d", incr.Time(), full.Time())
+	}
+}
+
+// TestMergeTreeEmptyAndSparse: all-empty trees and trees emptied by
+// updates must yield empty envelopes, and refilling must work.
+func TestMergeTreeEmptyAndSparse(t *testing.T) {
+	m := machine.New(hypercube.MustNew(64))
+	tr, err := NewMergeTree(m, make([]pieces.Piecewise, 8), pieces.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root()) != 0 {
+		t.Fatalf("empty tree root has %d pieces", len(tr.Root()))
+	}
+	f := pieces.Total(curve.NewPoly(poly.New(1, 2)), 3)
+	if _, err := tr.Update(m, []TreeUpdate{{Slot: 3, F: f}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root()) != 1 || tr.Root()[0].ID != 3 {
+		t.Fatalf("single-function root = %v", tr.Root())
+	}
+	if _, err := tr.Update(m, []TreeUpdate{{Slot: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root()) != 0 {
+		t.Fatalf("re-emptied tree root has %d pieces", len(tr.Root()))
+	}
+}
+
+// TestMergeTreeUpdateValidation: bad batches must be rejected atomically.
+func TestMergeTreeUpdateValidation(t *testing.T) {
+	m := machine.New(hypercube.MustNew(64))
+	r := rand.New(rand.NewSource(3))
+	tr, err := NewMergeTree(m, leavesOf(r, 8, 1), pieces.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootBefore := append(pieces.Piecewise(nil), tr.Root()...)
+	good := pieces.Total(curve.NewPoly(poly.New(0, 1)), 0)
+	if _, err := tr.Update(m, []TreeUpdate{{Slot: 0, F: good}, {Slot: 99, F: good}}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	identicalPiecewise(t, tr.Root(), rootBefore, "root after rejected batch")
+	bad := pieces.Piecewise{{F: curve.NewPoly(poly.New(1)), ID: 0, Lo: 2, Hi: 1}}
+	if _, err := tr.Update(m, []TreeUpdate{{Slot: 1, F: bad}}); err == nil {
+		t.Fatal("malformed piecewise accepted")
+	}
+	identicalPiecewise(t, tr.Root(), rootBefore, "root after rejected malformed batch")
+}

@@ -18,6 +18,7 @@ import (
 	"dyncg/internal/fault"
 	"dyncg/internal/machine"
 	"dyncg/internal/motion"
+	"dyncg/internal/session"
 	"dyncg/internal/trace"
 )
 
@@ -39,6 +40,13 @@ type Config struct {
 	// DefaultWorkers is the worker-pool size for requests that do not set
 	// options.workers (0 = serial).
 	DefaultWorkers int
+	// MaxSessions caps concurrently live scenario sessions, each of which
+	// pins one machine for its lifetime (0 = 64; negative = unbounded).
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this, returning their
+	// machines to the pool (0 = 15m; negative disables eviction). Expiry
+	// is swept lazily from the serving paths — no janitor goroutine.
+	SessionTTL time.Duration
 	// Logger receives one structured record per request (nil = discard).
 	Logger *slog.Logger
 }
@@ -57,6 +65,8 @@ type Server struct {
 	draining atomic.Bool
 	log      *slog.Logger
 	mux      *http.ServeMux
+	sessions *session.Registry
+	sessMet  *sessionMetrics
 
 	hookAdmitted func() // test seam: runs after admission, before machine checkout
 	hookRunning  func() // test seam: runs after machine checkout, before the algorithm
@@ -79,6 +89,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 8 << 20
 	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = 15 * time.Minute
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -92,7 +108,13 @@ func New(cfg Config) *Server {
 		log:   log,
 		mux:   http.NewServeMux(),
 	}
+	s.sessMet = newSessionMetrics()
+	s.sessions = session.NewRegistry(cfg.MaxSessions, cfg.SessionTTL, s.releaseSession)
 	s.mux.HandleFunc("POST /v1/{algorithm}", s.handleAlgorithm)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/query", s.handleSessionQuery)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -152,6 +174,12 @@ func errStatus(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "too_few_pes"
 	case errors.Is(err, fault.ErrNotSurvivable):
 		return http.StatusServiceUnavailable, "not_survivable"
+	case errors.Is(err, session.ErrNoSession):
+		return http.StatusNotFound, "no_session"
+	case errors.Is(err, session.ErrTooManySessions):
+		return http.StatusTooManyRequests, "too_many_sessions"
+	case errors.Is(err, session.ErrBroken):
+		return http.StatusConflict, "session_broken"
 	}
 	return http.StatusInternalServerError, "internal"
 }
@@ -175,8 +203,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.sessions.Sweep() // lazy TTL eviction rides the scrape path
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.Write(w)
+	s.sessMet.write(w, s.sessions)
 	ps := s.pool.Stats()
 	fmt.Fprintf(w, "# TYPE dyncgd_pool_checkouts_total counter\n")
 	fmt.Fprintf(w, "dyncgd_pool_checkouts_total{result=\"hit\"} %d\n", ps.Hits)

@@ -1,0 +1,91 @@
+package session
+
+// FuzzSessionUpdates drives byte-derived update batches through a
+// session engine and cross-checks every accepted batch against the
+// from-scratch oracle — the fuzzing arm of the differential battery.
+// Rejected batches must be atomic (the maintained answer unchanged).
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/motion"
+)
+
+var fuzzAlgos = []Algo{
+	ClosestPointSeq, FarthestPointSeq, ClosestPairSeq, FarthestPairSeq,
+	CubeEdge, SmallestEver, Containment,
+}
+
+// fuzzDelta decodes one delta from three opcode bytes: operation,
+// target selector, and a coefficient seed for fresh trajectories.
+func fuzzDelta(op, target, coef byte, d, k int) Delta {
+	r := rand.New(rand.NewSource(int64(coef)*7919 + 13))
+	switch op % 4 {
+	case 0:
+		return Delta{Op: OpInsert, Point: randPoint(r, d, k)}
+	case 1:
+		return Delta{Op: OpDelete, ID: int(target % 16)}
+	case 2:
+		return Delta{Op: OpRetarget, ID: int(target % 16), Point: randPoint(r, d, k)}
+	default:
+		// Occasionally malformed: wrong dimension or degree, exercising
+		// the rejection path.
+		return Delta{Op: OpRetarget, ID: int(target % 16), Point: randPoint(r, d+1, k+2)}
+	}
+}
+
+func FuzzSessionUpdates(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 1, 0, 1, 2, 1, 3, 4})
+	f.Add(int64(2), []byte{2, 1, 0, 0, 5, 5, 1, 2, 9, 2, 0, 7})
+	f.Add(int64(3), []byte{4, 2, 3, 3, 1, 1, 0, 8, 8, 1, 9, 9, 2, 2, 2})
+	f.Add(int64(4), []byte{6, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) == 0 || len(ops) > 96 {
+			t.Skip()
+		}
+		algo := fuzzAlgos[int(ops[0])%len(fuzzAlgos)]
+		const capacity, d, k = 6, 2, 1
+		r := rand.New(rand.NewSource(seed))
+		pts := randPoints(r, 3, d, k)
+		m := machine.New(hypercube.MustNew(PEs("hypercube", algo, capacity, k)))
+		cfg := diffConfig(algo, capacity, d)
+		e, err := New(m, cfg, pts)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		// Slice the remaining bytes into batches of up to 4 deltas.
+		body := ops[1:]
+		for len(body) >= 3 {
+			nb := 1 + int(body[0])%4
+			var batch []Delta
+			for i := 0; i < nb && len(body) >= 3; i++ {
+				batch = append(batch, fuzzDelta(body[0], body[1], body[2], d, k))
+				body = body[3:]
+			}
+			before := e.Result()
+			if _, _, err := e.Apply(batch); err != nil {
+				if !reflect.DeepEqual(e.Result(), before) {
+					t.Fatalf("rejected batch mutated the result: %v", err)
+				}
+				// Expected rejections: model violations and capacity. A
+				// broken session would be a real bug.
+				if !errors.Is(err, motion.ErrBadSystem) && !errors.Is(err, machine.ErrTooFewPEs) {
+					t.Fatalf("Apply failed outside the validation contract: %v", err)
+				}
+				continue
+			}
+			res, err := e.Rebuild()
+			if err != nil {
+				t.Fatalf("Rebuild: %v", err)
+			}
+			if !reflect.DeepEqual(e.Result(), res) {
+				t.Fatalf("incremental result diverged from rebuild\n got: %+v\nwant: %+v", e.Result(), res)
+			}
+		}
+	})
+}

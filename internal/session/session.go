@@ -1,0 +1,829 @@
+// Package session implements stateful batch-dynamic scenario sessions —
+// the serving-layer counterpart of the retained merge tree of
+// internal/penvelope. A session pins a simulated machine and keeps the
+// intermediate envelope state of one algorithm resident, so a batch of k
+// trajectory inserts/deletes/retargets recomputes only the O(k·log n)
+// dirty merge paths (one Lemma 3.1 pass per dirty node) instead of
+// re-running the full Theorem 3.2 construction over all n functions.
+//
+// The design follows the parallel batch-dynamic literature (Wang et al.,
+// PAPERS.md) in structure and the Dallant–Iacono lower bounds in
+// spirit: exact from-scratch recomputation on the same machine
+// (Engine.Rebuild) is retained as the correctness oracle, and every
+// incremental answer is required — and tested — to be bit-identical to
+// it.
+//
+// The package has two layers: Engine (one scenario's points, leaf-slot
+// maps, retained trees, and derived answer) and Registry (named live
+// sessions with a capacity bound, idle-TTL eviction, and per-session
+// locking; machine release is a callback so the HTTP layer can return
+// pinned machines to its warm pool).
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dyncg/internal/core"
+	"dyncg/internal/curve"
+	"dyncg/internal/machine"
+	"dyncg/internal/motion"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pieces"
+)
+
+// Typed errors of the session layer (the server maps them to HTTP
+// statuses). Validation failures of points, batches, and configs wrap
+// motion.ErrBadSystem; capacity failures wrap machine.ErrTooFewPEs.
+var (
+	// ErrNoSession: the session ID is unknown (never created, deleted,
+	// or TTL-evicted).
+	ErrNoSession = errors.New("session: no such session")
+	// ErrTooManySessions: the registry is at its session capacity.
+	ErrTooManySessions = errors.New("session: session limit reached")
+	// ErrBroken: a previous update failed mid-recompute and the retained
+	// trees may be inconsistent; the session only answers with this error
+	// from then on (delete it and create a fresh one).
+	ErrBroken = errors.New("session: broken by a failed update")
+)
+
+// Algo names a session algorithm — the subset of the serving surface
+// whose intermediate state is envelope-shaped and therefore maintainable
+// in retained merge trees.
+type Algo string
+
+// The session algorithms.
+const (
+	// ClosestPointSeq / FarthestPointSeq: Theorem 4.1 sequences against
+	// a fixed origin point (one d²-curve tree).
+	ClosestPointSeq  Algo = "closest-point-sequence"
+	FarthestPointSeq Algo = "farthest-point-sequence"
+	// ClosestPairSeq / FarthestPairSeq: the §6 pair sequences — closest
+	// pair and diameter over time (one tree over all unordered pairs).
+	ClosestPairSeq  Algo = "closest-pair-sequence"
+	FarthestPairSeq Algo = "farthest-pair-sequence"
+	// CubeEdge / SmallestEver / Containment: the §4.3 envelope-backed
+	// measures (2d coordinate-envelope trees plus the shared derivation
+	// helpers of internal/core).
+	CubeEdge     Algo = "smallest-hypercube-edge"
+	SmallestEver Algo = "smallest-ever-hypercube"
+	Containment  Algo = "containment-intervals"
+)
+
+// ParseAlgo validates a wire algorithm name.
+func ParseAlgo(s string) (Algo, error) {
+	switch a := Algo(s); a {
+	case ClosestPointSeq, FarthestPointSeq, ClosestPairSeq, FarthestPairSeq,
+		CubeEdge, SmallestEver, Containment:
+		return a, nil
+	}
+	return "", fmt.Errorf("session: unknown session algorithm %q: %w", s, motion.ErrBadSystem)
+}
+
+// structure classes: how an algorithm maps points to leaf slots.
+const (
+	classPoint = iota // one slot per non-origin point (d² curves)
+	classPair         // one slot per unordered point pair
+	classSpan         // one slot per point, in 2·d coordinate trees
+)
+
+func (a Algo) class() int {
+	switch a {
+	case ClosestPointSeq, FarthestPointSeq:
+		return classPoint
+	case ClosestPairSeq, FarthestPairSeq:
+		return classPair
+	}
+	return classSpan
+}
+
+func (a Algo) kind() pieces.Kind {
+	if a == FarthestPointSeq || a == FarthestPairSeq {
+		return pieces.Max
+	}
+	return pieces.Min
+}
+
+// Op is one update operation kind.
+type Op string
+
+// The update operations.
+const (
+	OpInsert   Op = "insert"   // add a new trajectory; its assigned ID is returned
+	OpDelete   Op = "delete"   // remove a trajectory by ID
+	OpRetarget Op = "retarget" // replace the trajectory of an existing ID
+)
+
+// Delta is one element of an update batch. Point is required for insert
+// and retarget; ID for delete and retarget.
+type Delta struct {
+	Op    Op
+	ID    int
+	Point motion.Point
+}
+
+// Config configures a session engine.
+type Config struct {
+	Algorithm Algo
+	// Origin is the index (into the initial point list) of the query
+	// point for the point-sequence algorithms. The origin gets a stable
+	// ID like every other point but cannot be deleted.
+	Origin int
+	// Dims are the hyper-rectangle side lengths (containment-intervals).
+	Dims []float64
+	// Capacity is the maximum number of live points over the session's
+	// lifetime; the machine and the leaf slots are sized for it once at
+	// creation (0 = max(2·n, 8)).
+	Capacity int
+	// MaxDegree bounds the trajectory degree of every point ever in the
+	// session (0 = max(observed initial degree, 1)). Inserts and
+	// retargets beyond it are rejected.
+	MaxDegree int
+}
+
+// PEs returns the PE prescription for a session: the Θ(λ(n, s))
+// envelope allocation of Theorem 3.2 sized for the session's capacity
+// (not its current population), so the pinned machine never needs to
+// grow. topo selects the λ_M ("mesh") or λ_H bound.
+func PEs(topo string, algo Algo, capacity, maxDegree int) int {
+	k := maxDegree
+	if k < 1 {
+		k = 1
+	}
+	env := penvelope.CubePEs
+	if topo == "mesh" {
+		env = penvelope.MeshPEs
+	}
+	switch algo.class() {
+	case classPair:
+		return env(capacity*(capacity-1)/2, 2*k)
+	case classSpan:
+		return env(capacity, k+2)
+	}
+	return env(capacity, 2*k)
+}
+
+// Result is a session's maintained answer; the field matching the
+// algorithm is set (Edge for CubeEdge, MinD/MinT for SmallestEver, …).
+type Result struct {
+	Neighbors []core.NeighborEvent // point sequences
+	Pairs     []core.PairEvent     // pair sequences
+	Edge      pieces.Piecewise     // smallest-hypercube-edge
+	MinD      float64              // smallest-ever-hypercube
+	MinT      float64
+	Intervals []core.Interval // containment-intervals
+}
+
+// ApplyStats reports the incremental work of one update batch, summed
+// over the session's retained trees.
+type ApplyStats struct {
+	DirtyLeaves int
+	MergedNodes int
+}
+
+// Engine is one scenario's batch-dynamic state: the live points keyed by
+// stable ID, the leaf-slot maps, the retained merge trees, and the
+// derived answer. An Engine is bound to the machine it was created on
+// and is not safe for concurrent use (the Registry serialises access).
+type Engine struct {
+	algo     Algo
+	m        *machine.M
+	d        int // coordinate dimension
+	maxK     int // trajectory degree bound
+	capacity int
+	originID int // stable ID of the query point (classPoint), else -1
+	dims     []float64
+
+	pts    map[int]motion.Point
+	nextID int
+
+	// classPoint / classSpan slot maps.
+	slotOf    map[int]int
+	slotPt    []int // slot → point ID, -1 when free
+	freeSlots []int // LIFO
+	hwSlot    int   // high-water sequential allocator
+
+	// classPair slot maps.
+	pairSlotOf map[[2]int]int
+	slotPair   [][2]int // slot → {a, b} with a < b, {-1, -1} when free
+	freePairs  []int
+	hwPair     int
+
+	// trees: classPoint/classPair hold one tree; classSpan holds 2·d
+	// (min₀, max₀, min₁, max₁, …).
+	trees []*penvelope.MergeTree
+
+	res     Result
+	updates uint64
+	broken  error
+}
+
+// New builds a session engine on machine m from the initial points —
+// one from-scratch tree construction (the same cost as the one-shot
+// algorithm) that leaves the intermediate state resident. The machine
+// must satisfy PEs(topo, algo, capacity, maxDegree); undersized machines
+// are rejected with machine.ErrTooFewPEs.
+func New(m *machine.M, cfg Config, pts []motion.Point) (*Engine, error) {
+	if _, err := ParseAlgo(string(cfg.Algorithm)); err != nil {
+		return nil, err
+	}
+	sys, err := motion.NewSystem(pts)
+	if err != nil {
+		return nil, err
+	}
+	maxK := cfg.MaxDegree
+	if maxK == 0 {
+		maxK = sys.K
+		if maxK < 1 {
+			maxK = 1
+		}
+	}
+	if sys.K > maxK {
+		return nil, fmt.Errorf("session: initial system has degree %d, exceeding max_degree %d: %w",
+			sys.K, maxK, motion.ErrBadSystem)
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = 2 * len(pts)
+		if capacity < 8 {
+			capacity = 8
+		}
+	}
+	if capacity < len(pts) {
+		return nil, fmt.Errorf("session: capacity %d below initial population %d: %w",
+			capacity, len(pts), motion.ErrBadSystem)
+	}
+	e := &Engine{
+		algo:     cfg.Algorithm,
+		m:        m,
+		d:        sys.D,
+		maxK:     maxK,
+		capacity: capacity,
+		originID: -1,
+		pts:      make(map[int]motion.Point, len(pts)),
+	}
+	for _, p := range pts {
+		e.pts[e.nextID] = p
+		e.nextID++
+	}
+	switch e.algo.class() {
+	case classPoint:
+		if cfg.Origin < 0 || cfg.Origin >= len(pts) {
+			return nil, fmt.Errorf("session: origin %d out of range: %w", cfg.Origin, motion.ErrBadSystem)
+		}
+		e.originID = cfg.Origin
+		e.initPointSlots()
+		fs := make([]pieces.Piecewise, e.capacity)
+		for slot, id := range e.slotPt {
+			if id >= 0 {
+				fs[slot] = e.pointLeaf(slot, id, e.pts)
+			}
+		}
+		tr, err := penvelope.NewMergeTree(m, fs, e.algo.kind())
+		if err != nil {
+			return nil, err
+		}
+		e.trees = []*penvelope.MergeTree{tr}
+	case classPair:
+		if len(pts) < 2 {
+			return nil, fmt.Errorf("session: pair sequence needs at least two points: %w", motion.ErrBadSystem)
+		}
+		e.initPairSlots()
+		fs := make([]pieces.Piecewise, e.capacity*(e.capacity-1)/2)
+		for slot, pr := range e.slotPair {
+			if pr[0] >= 0 {
+				fs[slot] = e.pairLeaf(slot, pr, e.pts)
+			}
+		}
+		tr, err := penvelope.NewMergeTree(m, fs, e.algo.kind())
+		if err != nil {
+			return nil, err
+		}
+		e.trees = []*penvelope.MergeTree{tr}
+	default: // classSpan
+		if e.algo == Containment {
+			if len(cfg.Dims) != sys.D {
+				return nil, fmt.Errorf("session: %d dims for %d-dimensional system: %w",
+					len(cfg.Dims), sys.D, motion.ErrBadSystem)
+			}
+			e.dims = append([]float64(nil), cfg.Dims...)
+		}
+		e.initPointSlots()
+		e.trees = make([]*penvelope.MergeTree, 2*e.d)
+		for c := 0; c < e.d; c++ {
+			fs := make([]pieces.Piecewise, e.capacity)
+			for slot, id := range e.slotPt {
+				if id >= 0 {
+					fs[slot] = e.coordLeaf(slot, id, c, e.pts)
+				}
+			}
+			lo, err := penvelope.NewMergeTree(m, fs, pieces.Min)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := penvelope.NewMergeTree(m, fs, pieces.Max)
+			if err != nil {
+				return nil, err
+			}
+			e.trees[2*c] = lo
+			e.trees[2*c+1] = hi
+		}
+	}
+	res, err := e.deriveFrom(e.trees)
+	if err != nil {
+		return nil, err
+	}
+	e.res = res
+	return e, nil
+}
+
+func (e *Engine) initPointSlots() {
+	e.slotOf = make(map[int]int, e.capacity)
+	e.slotPt = make([]int, e.capacity)
+	for i := range e.slotPt {
+		e.slotPt[i] = -1
+	}
+	for id := 0; id < e.nextID; id++ {
+		if id == e.originID {
+			continue
+		}
+		slot := e.hwSlot
+		e.hwSlot++
+		e.slotOf[id] = slot
+		e.slotPt[slot] = id
+	}
+}
+
+func (e *Engine) initPairSlots() {
+	slots := e.capacity * (e.capacity - 1) / 2
+	e.pairSlotOf = make(map[[2]int]int, slots)
+	e.slotPair = make([][2]int, slots)
+	for i := range e.slotPair {
+		e.slotPair[i] = [2]int{-1, -1}
+	}
+	for a := 0; a < e.nextID; a++ {
+		for b := a + 1; b < e.nextID; b++ {
+			slot := e.hwPair
+			e.hwPair++
+			pr := [2]int{a, b}
+			e.pairSlotOf[pr] = slot
+			e.slotPair[slot] = pr
+		}
+	}
+}
+
+// pointLeaf is the d²-to-origin curve of point id, tagged with its slot
+// (slots are the stable run IDs of the Lemma 3.1 machinery).
+func (e *Engine) pointLeaf(slot, id int, pts map[int]motion.Point) pieces.Piecewise {
+	d2 := pts[e.originID].DistSq(pts[id])
+	return pieces.Total(curve.NewPoly(d2), slot)
+}
+
+func (e *Engine) pairLeaf(slot int, pr [2]int, pts map[int]motion.Point) pieces.Piecewise {
+	d2 := pts[pr[0]].DistSq(pts[pr[1]])
+	return pieces.Total(curve.NewPoly(d2), slot)
+}
+
+func (e *Engine) coordLeaf(slot, id, coord int, pts map[int]motion.Point) pieces.Piecewise {
+	return pieces.Total(curve.NewPoly(pts[id].Coord[coord]), slot)
+}
+
+// Algorithm returns the session's algorithm.
+func (e *Engine) Algorithm() Algo { return e.algo }
+
+// Capacity returns the maximum live population.
+func (e *Engine) Capacity() int { return e.capacity }
+
+// MaxDegree returns the trajectory degree bound.
+func (e *Engine) MaxDegree() int { return e.maxK }
+
+// Origin returns the stable ID of the query point (-1 when the
+// algorithm has none).
+func (e *Engine) Origin() int { return e.originID }
+
+// Updates returns the number of applied update batches.
+func (e *Engine) Updates() uint64 { return e.updates }
+
+// Points returns the live stable IDs in ascending order.
+func (e *Engine) Points() []int {
+	out := make([]int, 0, len(e.pts))
+	for id := range e.pts {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Point returns the current trajectory of a live stable ID.
+func (e *Engine) Point(id int) (motion.Point, bool) {
+	p, ok := e.pts[id]
+	return p, ok
+}
+
+// Result returns the maintained answer (valid after New and after every
+// successful Apply; not a deep copy — callers must not mutate it).
+func (e *Engine) Result() Result { return e.res }
+
+// staged is the copy-on-write working state of one Apply: nothing in
+// the engine mutates until the whole batch validates.
+type staged struct {
+	pts        map[int]motion.Point
+	nextID     int
+	slotOf     map[int]int
+	slotPt     []int
+	freeSlots  []int
+	hwSlot     int
+	pairSlotOf map[[2]int]int
+	slotPair   [][2]int
+	freePairs  []int
+	hwPair     int
+	dirty      map[int]bool // classPoint/classSpan: dirty point slots
+	dirtyPair  map[int]bool
+	inserted   []int
+}
+
+func (e *Engine) stage() *staged {
+	s := &staged{
+		pts:       make(map[int]motion.Point, len(e.pts)),
+		nextID:    e.nextID,
+		hwSlot:    e.hwSlot,
+		hwPair:    e.hwPair,
+		dirty:     make(map[int]bool),
+		dirtyPair: make(map[int]bool),
+	}
+	for id, p := range e.pts {
+		s.pts[id] = p
+	}
+	if e.slotOf != nil {
+		s.slotOf = make(map[int]int, len(e.slotOf))
+		for id, sl := range e.slotOf {
+			s.slotOf[id] = sl
+		}
+		s.slotPt = append([]int(nil), e.slotPt...)
+		s.freeSlots = append([]int(nil), e.freeSlots...)
+	}
+	if e.pairSlotOf != nil {
+		s.pairSlotOf = make(map[[2]int]int, len(e.pairSlotOf))
+		for pr, sl := range e.pairSlotOf {
+			s.pairSlotOf[pr] = sl
+		}
+		s.slotPair = append([][2]int(nil), e.slotPair...)
+		s.freePairs = append([]int(nil), e.freePairs...)
+	}
+	return s
+}
+
+func (s *staged) allocSlot() int {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot
+	}
+	slot := s.hwSlot
+	s.hwSlot++
+	return slot
+}
+
+func (s *staged) allocPair() int {
+	if n := len(s.freePairs); n > 0 {
+		slot := s.freePairs[n-1]
+		s.freePairs = s.freePairs[:n-1]
+		return slot
+	}
+	slot := s.hwPair
+	s.hwPair++
+	return slot
+}
+
+// liveIDs returns the staged live IDs in ascending order (determinism
+// of slot allocation and dirty-set iteration).
+func (s *staged) liveIDs() []int {
+	out := make([]int, 0, len(s.pts))
+	for id := range s.pts {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (e *Engine) validatePoint(p motion.Point) error {
+	if p.Dim() != e.d {
+		return fmt.Errorf("session: point has dimension %d, want %d: %w", p.Dim(), e.d, motion.ErrBadSystem)
+	}
+	if deg := p.Degree(); deg > e.maxK {
+		return fmt.Errorf("session: trajectory degree %d exceeds the session bound %d: %w",
+			deg, e.maxK, motion.ErrBadSystem)
+	}
+	return nil
+}
+
+// Apply applies one update batch atomically: the whole batch is
+// validated against a staged copy of the engine state first, so a
+// rejected batch leaves the session untouched; then exactly the dirty
+// leaf slots are rewritten and the retained trees redo their dirty merge
+// paths. Returns the stable IDs assigned to the batch's inserts, in
+// order. The machine's Stats delta across the call is the simulated
+// incremental cost.
+func (e *Engine) Apply(deltas []Delta) ([]int, ApplyStats, error) {
+	var st ApplyStats
+	if e.broken != nil {
+		return nil, st, fmt.Errorf("%w: %v", ErrBroken, e.broken)
+	}
+	if len(deltas) == 0 {
+		return nil, st, fmt.Errorf("session: empty update batch: %w", motion.ErrBadSystem)
+	}
+	s := e.stage()
+	for i, d := range deltas {
+		if err := e.applyStaged(s, d); err != nil {
+			return nil, st, fmt.Errorf("session: update %d (%s): %w", i, d.Op, err)
+		}
+	}
+	// Whole-batch validation of the final population: the §2.4 system
+	// model (shared dimension, distinct initial positions) must hold for
+	// the points that remain.
+	final := make([]motion.Point, 0, len(s.pts))
+	for _, id := range s.liveIDs() {
+		final = append(final, s.pts[id])
+	}
+	if len(final) == 0 {
+		return nil, st, fmt.Errorf("session: batch empties the session: %w", motion.ErrBadSystem)
+	}
+	if _, err := motion.NewSystem(final); err != nil {
+		return nil, st, err
+	}
+
+	// Build the leaf updates from the staged final state.
+	type treeUps struct{ ups []penvelope.TreeUpdate }
+	updatesFor := make([]treeUps, len(e.trees))
+	switch e.algo.class() {
+	case classPoint:
+		for _, slot := range sortedSlots(s.dirty) {
+			var f pieces.Piecewise
+			if id := s.slotPt[slot]; id >= 0 {
+				f = e.pointLeafStaged(slot, id, s)
+			}
+			updatesFor[0].ups = append(updatesFor[0].ups, penvelope.TreeUpdate{Slot: slot, F: f})
+		}
+	case classPair:
+		for _, slot := range sortedSlots(s.dirtyPair) {
+			var f pieces.Piecewise
+			if pr := s.slotPair[slot]; pr[0] >= 0 {
+				f = e.pairLeaf(slot, pr, s.pts)
+			}
+			updatesFor[0].ups = append(updatesFor[0].ups, penvelope.TreeUpdate{Slot: slot, F: f})
+		}
+	default:
+		for _, slot := range sortedSlots(s.dirty) {
+			id := s.slotPt[slot]
+			for c := 0; c < e.d; c++ {
+				var f pieces.Piecewise
+				if id >= 0 {
+					f = e.coordLeaf(slot, id, c, s.pts)
+				}
+				u := penvelope.TreeUpdate{Slot: slot, F: f}
+				updatesFor[2*c].ups = append(updatesFor[2*c].ups, u)
+				updatesFor[2*c+1].ups = append(updatesFor[2*c+1].ups, u)
+			}
+		}
+	}
+
+	// Commit the staged maps, then run the incremental recomputes. A
+	// failure past this point (a genuine λ under-allocation surfacing
+	// mid-merge) leaves the trees inconsistent: mark the session broken.
+	e.pts, e.nextID = s.pts, s.nextID
+	e.slotOf, e.slotPt, e.freeSlots, e.hwSlot = s.slotOf, s.slotPt, s.freeSlots, s.hwSlot
+	e.pairSlotOf, e.slotPair, e.freePairs, e.hwPair = s.pairSlotOf, s.slotPair, s.freePairs, s.hwPair
+	for ti, tu := range updatesFor {
+		if len(tu.ups) == 0 {
+			continue
+		}
+		ts, err := e.trees[ti].Update(e.m, tu.ups)
+		st.DirtyLeaves += ts.DirtyLeaves
+		st.MergedNodes += ts.MergedNodes
+		if err != nil {
+			e.broken = err
+			return nil, st, fmt.Errorf("%w: %v", ErrBroken, err)
+		}
+	}
+	res, err := e.deriveFrom(e.trees)
+	if err != nil {
+		e.broken = err
+		return nil, st, fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	e.res = res
+	e.updates++
+	return s.inserted, st, nil
+}
+
+// pointLeafStaged is pointLeaf against the staged origin and points.
+func (e *Engine) pointLeafStaged(slot, id int, s *staged) pieces.Piecewise {
+	d2 := s.pts[e.originID].DistSq(s.pts[id])
+	return pieces.Total(curve.NewPoly(d2), slot)
+}
+
+// applyStaged applies one delta to the staged state, recording dirty
+// slots. Insertions allocate slots; deletions free them (slot values are
+// rebuilt from the final staged points afterwards, so insert-then-delete
+// of the same ID within a batch nets out to an empty dirty slot write).
+func (e *Engine) applyStaged(s *staged, d Delta) error {
+	switch d.Op {
+	case OpInsert:
+		if err := e.validatePoint(d.Point); err != nil {
+			return err
+		}
+		if len(s.pts) >= e.capacity {
+			return fmt.Errorf("session: insert exceeds session capacity %d: %w", e.capacity, machine.ErrTooFewPEs)
+		}
+		id := s.nextID
+		s.nextID++
+		s.pts[id] = d.Point
+		s.inserted = append(s.inserted, id)
+		switch e.algo.class() {
+		case classPair:
+			for _, other := range s.liveIDs() {
+				if other == id {
+					continue
+				}
+				pr := [2]int{other, id}
+				if other > id {
+					pr = [2]int{id, other}
+				}
+				slot := s.allocPair()
+				s.pairSlotOf[pr] = slot
+				s.slotPair[slot] = pr
+				s.dirtyPair[slot] = true
+			}
+		default:
+			slot := s.allocSlot()
+			s.slotOf[id] = slot
+			s.slotPt[slot] = id
+			s.dirty[slot] = true
+		}
+	case OpDelete:
+		if _, ok := s.pts[d.ID]; !ok {
+			return fmt.Errorf("session: point %d does not exist: %w", d.ID, motion.ErrBadSystem)
+		}
+		if d.ID == e.originID {
+			return fmt.Errorf("session: cannot delete the origin point %d: %w", d.ID, motion.ErrBadSystem)
+		}
+		delete(s.pts, d.ID)
+		switch e.algo.class() {
+		case classPair:
+			for _, other := range s.liveIDs() {
+				pr := [2]int{other, d.ID}
+				if other > d.ID {
+					pr = [2]int{d.ID, other}
+				}
+				slot, ok := s.pairSlotOf[pr]
+				if !ok {
+					continue
+				}
+				delete(s.pairSlotOf, pr)
+				s.slotPair[slot] = [2]int{-1, -1}
+				s.freePairs = append(s.freePairs, slot)
+				s.dirtyPair[slot] = true
+			}
+		default:
+			slot := s.slotOf[d.ID]
+			delete(s.slotOf, d.ID)
+			s.slotPt[slot] = -1
+			s.freeSlots = append(s.freeSlots, slot)
+			s.dirty[slot] = true
+		}
+	case OpRetarget:
+		if _, ok := s.pts[d.ID]; !ok {
+			return fmt.Errorf("session: point %d does not exist: %w", d.ID, motion.ErrBadSystem)
+		}
+		if err := e.validatePoint(d.Point); err != nil {
+			return err
+		}
+		s.pts[d.ID] = d.Point
+		switch e.algo.class() {
+		case classPair:
+			for _, other := range s.liveIDs() {
+				if other == d.ID {
+					continue
+				}
+				pr := [2]int{other, d.ID}
+				if other > d.ID {
+					pr = [2]int{d.ID, other}
+				}
+				if slot, ok := s.pairSlotOf[pr]; ok {
+					s.dirtyPair[slot] = true
+				}
+			}
+		default:
+			if d.ID == e.originID {
+				// The query trajectory changed: every d² leaf is dirty.
+				for slot, id := range s.slotPt {
+					if id >= 0 {
+						s.dirty[slot] = true
+					}
+				}
+			} else {
+				s.dirty[s.slotOf[d.ID]] = true
+			}
+		}
+	default:
+		return fmt.Errorf("session: unknown op %q: %w", d.Op, motion.ErrBadSystem)
+	}
+	return nil
+}
+
+// deriveFrom converts tree roots into the session's answer via the same
+// derivation code the one-shot algorithms use (internal/core).
+func (e *Engine) deriveFrom(trees []*penvelope.MergeTree) (Result, error) {
+	var res Result
+	switch e.algo.class() {
+	case classPoint:
+		root := trees[0].Root()
+		res.Neighbors = make([]core.NeighborEvent, len(root))
+		for i, p := range root {
+			res.Neighbors[i] = core.NeighborEvent{Point: e.slotPt[p.ID], Lo: p.Lo, Hi: p.Hi}
+		}
+	case classPair:
+		root := trees[0].Root()
+		res.Pairs = make([]core.PairEvent, len(root))
+		for i, p := range root {
+			pr := e.slotPair[p.ID]
+			res.Pairs[i] = core.PairEvent{A: pr[0], B: pr[1], Lo: p.Lo, Hi: p.Hi}
+		}
+	default:
+		spans := make([]pieces.Piecewise, e.d)
+		for c := 0; c < e.d; c++ {
+			diff, err := core.SpanFromEnvelopes(e.m, trees[2*c+1].Root(), trees[2*c].Root(), c)
+			if err != nil {
+				return res, err
+			}
+			spans[c] = diff
+		}
+		switch e.algo {
+		case Containment:
+			ivs, err := core.ContainmentFromSpans(e.m, spans, e.dims)
+			if err != nil {
+				return res, err
+			}
+			res.Intervals = ivs
+		default:
+			edge, err := core.EdgeFromSpans(e.m, spans)
+			if err != nil {
+				return res, err
+			}
+			res.Edge = edge
+			if e.algo == SmallestEver {
+				dmin, tmin, err := core.MinimizeEdge(e.m, edge)
+				if err != nil {
+					return res, err
+				}
+				res.MinD, res.MinT = dmin, tmin
+			}
+		}
+	}
+	return res, nil
+}
+
+// Rebuild recomputes the session's answer from scratch on the same
+// machine — fresh merge trees over the current leaves, then the same
+// derivation — without touching the retained state. It is the exact
+// correctness oracle of the batch-dynamic design: Apply's maintained
+// result must be bit-identical to it.
+func (e *Engine) Rebuild() (Result, error) {
+	if e.broken != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrBroken, e.broken)
+	}
+	fresh := make([]*penvelope.MergeTree, len(e.trees))
+	for i, tr := range e.trees {
+		leaves := make([]pieces.Piecewise, tr.Slots())
+		for s := 0; s < tr.Slots(); s++ {
+			leaves[s] = tr.Leaf(s)
+		}
+		var err error
+		fresh[i], err = penvelope.NewMergeTree(e.m, leaves, treeKind(e.algo, i))
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return e.deriveFrom(fresh)
+}
+
+// treeKind returns the envelope kind of tree index i under the engine's
+// tree layout.
+func treeKind(a Algo, i int) pieces.Kind {
+	if a.class() == classSpan {
+		if i%2 == 1 {
+			return pieces.Max
+		}
+		return pieces.Min
+	}
+	return a.kind()
+}
+
+func sortedSlots(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

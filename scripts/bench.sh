@@ -9,7 +9,10 @@
 # primitive x topology x n plus a composite grouping workload, measured
 # with -benchmem in steady state on a warm machine — plus BenchmarkServer
 # in internal/server: one full daemon request (decode, admission, pool,
-# algorithm, encode) on a warm and a cold pool. The iteration count is
+# algorithm, encode) on a warm and a cold pool — plus
+# BenchmarkSessionUpdate in the root package: one session delta batch
+# (1/16/64 retargets) against the retained merge tree vs a full rebuild
+# on the same machine. The iteration count is
 # pinned (-benchtime 100x) so allocs/op is deterministic and comparable
 # across hosts; cmd/benchgate documents the per-metric gate tolerances
 # (allocs/op tight, B/op medium, ns/op catastrophic-only — shared runners
@@ -24,8 +27,8 @@ mode=${1:-refresh}
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer' -benchtime $benchtime -benchmem"
-go test -run '^$' -bench 'BenchmarkPerf|BenchmarkServer' -benchtime "$benchtime" -benchmem . ./internal/server | tee "$out"
+echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession' -benchtime $benchtime -benchmem"
+go test -run '^$' -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession' -benchtime "$benchtime" -benchmem . ./internal/server | tee "$out"
 
 case "$mode" in
 -check)

@@ -5,8 +5,10 @@
 # operational surface over real HTTP: /healthz, one algorithm per
 # results table (§4 transient, §5 steady-state, §4.2 pair sequence), a
 # repeat request that must be served by the warm pool, a fault-injected
-# request through the recovery harness, /metrics, and finally a SIGTERM
-# drain that must exit cleanly within the grace period.
+# request through the recovery harness, a stateful session round-trip
+# (create → update → query → delete, cross-checked against a direct
+# facade session by examples/client -session), /metrics, and finally a
+# SIGTERM drain that must exit cleanly within the grace period.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -76,10 +78,39 @@ expect "pool reuse" '"hit":true' "$r"
 r=$(post steady-hull "{\"v\":1,\"system\":$sys,\"options\":{\"faults\":\"transient=0.05,retries=3\",\"fault_seed\":7}}")
 expect "faulted request" '"fault"' "$r"
 
+# Stateful session round-trip: create, apply a delta batch, query with
+# the bit-identity audit on, delete. The maintained answer after the
+# batch must match the one-shot closest-point-sequence on the same
+# final system (delta: insert P3 at (5, 1+t)).
+r=$(post sessions "{\"v\":1,\"algorithm\":\"closest-point-sequence\",\"system\":$sys,\"origin\":0}")
+expect "session create" '"id":"s-' "$r"
+sid=$(printf '%s' "$r" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+r=$(post "sessions/$sid/update" '{"v":1,"deltas":[{"op":"insert","point":[[5],[1,1]]}]}')
+expect "session update" '"inserted":[3]' "$r"
+session_result=$(printf '%s' "$r" | sed 's/.*"result"://;s/}$//')
+r=$(curl -fsS "$base/v1/sessions/$sid/query?verify=1")
+expect "session verify" '"verified":true' "$r"
+oneshot=$(post closest-point-sequence "{\"v\":1,\"system\":[[[0],[0]],[[1,2],[0]],[[0],[20,-1]],[[5],[1,1]]],\"origin\":0}")
+expect "session vs one-shot" "$session_result" "$oneshot"
+r=$(curl -fsS -X DELETE "$base/v1/sessions/$sid")
+expect "session delete" "\"id\":\"$sid\"" "$r"
+if curl -fsS "$base/v1/sessions/$sid/query" >/dev/null 2>&1; then
+    echo "server_smoke: deleted session still answers" >&2
+    exit 1
+fi
+echo "==> session round-trip OK"
+
+# The full session surface again through the example client, which
+# replays the scenario on a direct facade session and exits non-zero
+# if the daemon's maintained answers ever diverge from it.
+go run ./examples/client -session -addr "$base"
+echo "==> session client cross-check OK"
+
 # Operational metrics.
 r=$(curl -fsS "$base/metrics")
 expect "metrics" 'dyncgd_requests_total' "$r"
 expect "metrics pool" 'dyncgd_pool_checkouts_total{result="hit"}' "$r"
+expect "metrics sessions" 'dyncg_session_updates_total' "$r"
 
 # Graceful drain: SIGTERM must flip health to 503 and exit 0.
 kill -TERM "$pid"
