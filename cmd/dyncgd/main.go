@@ -30,6 +30,18 @@
 // counters, queue depth, session gauges and update latency). On
 // SIGINT/SIGTERM the daemon drains: health flips to 503, new requests
 // are rejected, and in-flight requests get -drain-timeout to finish.
+//
+// With -log-dir the daemon records every served /v1/* request and
+// response into an append-only hash-chained computation log
+// (internal/replaylog), rotated by -log-max-bytes and sealed with a
+// Merkle anchor per segment. The companion subcommand
+//
+//	dyncgd replay -log-dir DIR [-from N] [-to N] [-ignore-pool]
+//
+// verifies the chain (any flipped byte is reported with the index of
+// the first bad record) and re-executes the log against a fresh
+// in-process server, diffing every response byte-for-byte; it exits
+// non-zero on tampering or on the first divergent record.
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"dyncg/internal/replaylog"
 	"dyncg/internal/server"
 )
 
@@ -58,9 +71,14 @@ var (
 	maxSessions  = flag.Int("max-sessions", 0, "max concurrently live scenario sessions (0 = 64, negative = unbounded)")
 	sessionTTL   = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = 15m, negative disables eviction)")
 	logFormat    = flag.String("log", "json", "request log format: json|text")
+	logDir       = flag.String("log-dir", "", "record every /v1/* request into a hash-chained replay log under this directory (empty disables)")
+	logMaxBytes  = flag.Int64("log-max-bytes", replaylog.DefaultMaxSegment, "replay-log segment rotation threshold in bytes")
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		os.Exit(runReplay(os.Args[2:]))
+	}
 	flag.Parse()
 
 	var handler slog.Handler
@@ -75,6 +93,18 @@ func main() {
 	}
 	log := slog.New(handler)
 
+	var rlog *replaylog.Log
+	if *logDir != "" {
+		var err error
+		rlog, err = replaylog.Open(*logDir, replaylog.WithMaxSegment(*logMaxBytes))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dyncgd: %v\n", err)
+			os.Exit(1)
+		}
+		seq, head := rlog.Head()
+		log.Info("replay log open", "dir", *logDir, "next_seq", seq, "head", head)
+	}
+
 	srv := server.New(server.Config{
 		PoolCap:        *poolCap,
 		MaxInFlight:    *maxInflight,
@@ -84,6 +114,7 @@ func main() {
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
 		Logger:         log,
+		ReplayLog:      rlog,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -112,5 +143,62 @@ func main() {
 		hs.Close()
 		os.Exit(1)
 	}
+	if rlog != nil {
+		// Seal the open segment after the drain so the log ends on an
+		// anchor; a restart resumes the chain from it.
+		if err := rlog.Close(); err != nil {
+			log.Warn("replay log close failed", "err", err)
+			os.Exit(1)
+		}
+	}
 	log.Info("stopped")
+}
+
+// runReplay is the `dyncgd replay` subcommand: verify the chain and
+// re-execute the log against a fresh in-process server.
+func runReplay(args []string) int {
+	fs := flag.NewFlagSet("dyncgd replay", flag.ExitOnError)
+	var (
+		dir        = fs.String("log-dir", "", "replay log directory (required)")
+		from       = fs.Uint64("from", 0, "first record Seq to replay")
+		to         = fs.Uint64("to", 0, "last record Seq to replay (0 = end of log)")
+		poolCap    = fs.Int("pool-cap", 32, "pool capacity of the replay server (match the recording daemon)")
+		workers    = fs.Int("workers", 0, "default worker-pool size of the replay server (match the recording daemon)")
+		ignorePool = fs.Bool("ignore-pool", false, "mask pool checkout info before diffing (for traces recorded under concurrent traffic)")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "dyncgd replay: -log-dir is required")
+		return 2
+	}
+
+	recs, err := replaylog.ReadDir(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncgd replay: chain verification failed: %v\n", err)
+		return 1
+	}
+	fmt.Printf("verified %d records (chain intact)\n", len(recs))
+
+	srv := server.New(server.Config{PoolCap: *poolCap, DefaultWorkers: *workers})
+	end := *to
+	if end == 0 {
+		end = ^uint64(0)
+	}
+	opts := []replaylog.ReplayOption{replaylog.WithRange(*from, end)}
+	if *ignorePool {
+		opts = append(opts, replaylog.WithIgnorePool())
+	}
+	rep, err := replaylog.Replay(srv.Handler(), recs, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncgd replay: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replayed %d requests (%d skipped as admission artifacts, %d anchors)\n",
+		rep.Replayed, rep.Skipped, rep.Anchors)
+	if rep.Diverged != nil {
+		fmt.Fprintf(os.Stderr, "dyncgd replay: divergence at %s\n", rep.Diverged)
+		return 1
+	}
+	fmt.Println("all responses byte-identical")
+	return 0
 }

@@ -47,22 +47,18 @@
 package dyncg
 
 import (
-	"fmt"
 	"io"
 	"math/rand"
 
-	"dyncg/internal/ccc"
 	"dyncg/internal/core"
 	"dyncg/internal/dsseq"
 	"dyncg/internal/fault"
-	"dyncg/internal/hypercube"
 	"dyncg/internal/machine"
-	"dyncg/internal/mesh"
 	"dyncg/internal/motion"
 	"dyncg/internal/penvelope"
 	"dyncg/internal/pieces"
 	"dyncg/internal/poly"
-	"dyncg/internal/shuffle"
+	"dyncg/internal/topo"
 	"dyncg/internal/trace"
 )
 
@@ -127,25 +123,21 @@ func RandomSystem(r *rand.Rand, n, k, d int, scale float64) *System {
 // Topology names one of the bundled interconnection networks. The mesh
 // and hypercube are the paper's machines (§2.2, §2.3); the cube-connected
 // cycles and shuffle-exchange networks are the §6 extensions.
-type Topology string
+// (= internal/topo.Topology, the construction facade shared with the
+// serving layers.)
+type Topology = topo.Topology
 
 // The bundled topologies.
 const (
-	Mesh      Topology = "mesh"      // √n×√n mesh, proximity (Hilbert) order
-	Hypercube Topology = "hypercube" // Gray-code-labelled hypercube
-	CCC       Topology = "ccc"       // cube-connected cycles
-	Shuffle   Topology = "shuffle"   // shuffle-exchange
+	Mesh      = topo.Mesh      // √n×√n mesh, proximity (Hilbert) order
+	Hypercube = topo.Hypercube // Gray-code-labelled hypercube
+	CCC       = topo.CCC       // cube-connected cycles
+	Shuffle   = topo.Shuffle   // shuffle-exchange
 )
 
 // ParseTopology converts a topology name (as used by the CLIs and the
 // server's JSON schema) into a Topology.
-func ParseTopology(s string) (Topology, error) {
-	switch t := Topology(s); t {
-	case Mesh, Hypercube, CCC, Shuffle:
-		return t, nil
-	}
-	return "", fmt.Errorf("dyncg: unknown topology %q (want mesh|hypercube|ccc|shuffle)", s)
-}
+func ParseTopology(s string) (Topology, error) { return topo.Parse(s) }
 
 // Network is the communication structure a Machine simulates
 // (= machine.Topology). Networks are immutable after construction and
@@ -158,84 +150,25 @@ type Network = machine.Topology
 // shuffle-exchange networks to a power of two, CCCs to q·2^q). Callers
 // that pool machines by size class (internal/server) use it to compute
 // the class key without constructing a network.
-func TopologySize(topo Topology, n int) (int, error) {
-	switch topo {
-	case Mesh:
-		return dsseq.NextPow4(n), nil
-	case Hypercube, Shuffle:
-		return dsseq.NextPow2(n), nil
-	case CCC:
-		for _, q := range []int{1, 2, 4, 8} {
-			if q*(1<<q) >= n {
-				return q * (1 << q), nil
-			}
-		}
-		return 0, fmt.Errorf("dyncg: no bundled CCC has %d PEs (largest is %d): %w",
-			n, 8*(1<<8), ErrTooFewPEs)
-	}
-	return 0, fmt.Errorf("dyncg: unknown topology %q (want mesh|hypercube|ccc|shuffle)", topo)
-}
+func TopologySize(t Topology, n int) (int, error) { return topo.Size(t, n) }
 
 // NewNetwork constructs the smallest network of the given family with at
 // least n PEs (see TopologySize for the rounding rules).
-func NewNetwork(topo Topology, n int) (Network, error) {
-	size, err := TopologySize(topo, n)
-	if err != nil {
-		return nil, err
-	}
-	switch topo {
-	case Mesh:
-		return mesh.New(size, mesh.Proximity)
-	case Hypercube:
-		return hypercube.New(size)
-	case Shuffle:
-		q := 0
-		for 1<<q < size {
-			q++
-		}
-		return shuffle.New(q)
-	case CCC:
-		for _, q := range []int{1, 2, 4, 8} {
-			if q*(1<<q) == size {
-				return ccc.New(q)
-			}
-		}
-	}
-	panic("unreachable") // TopologySize already vetted topo and size
-}
-
-// machineConfig collects the MachineOption settings applied by NewMachine.
-type machineConfig struct {
-	mopts      []machine.Option
-	tracerName string
-	hasTracer  bool
-	faultSpec  string
-	faultSeed  int64
-	hasFault   bool
-}
+func NewNetwork(t Topology, n int) (Network, error) { return topo.NewNetwork(t, n) }
 
 // MachineOption configures a machine built by NewMachine.
-type MachineOption func(*machineConfig)
+type MachineOption = topo.Option
 
 // WithParallel runs the machine's per-PE compute loops on a worker pool
 // of the given size (≤ 0 means GOMAXPROCS). Simulated costs, outputs,
 // and trace streams are identical to the serial backend; only host
 // wall-clock time changes.
-func WithParallel(workers int) MachineOption {
-	return func(c *machineConfig) {
-		c.mopts = append(c.mopts, machine.WithParallel(workers))
-	}
-}
+func WithParallel(workers int) MachineOption { return topo.WithParallel(workers) }
 
 // WithTracer attaches a Tracer (rooted at the given span name) to the
 // machine at construction. Retrieve it with MachineTracer and call
 // Finish to obtain the span tree.
-func WithTracer(rootName string) MachineOption {
-	return func(c *machineConfig) {
-		c.tracerName = rootName
-		c.hasTracer = true
-	}
-}
+func WithTracer(rootName string) MachineOption { return topo.WithTracer(rootName) }
 
 // WithFaultPlan installs a seeded deterministic fault schedule parsed
 // from the -faults spec syntax (e.g. "transient=0.05,retries=3").
@@ -245,45 +178,15 @@ func WithTracer(rootName string) MachineOption {
 // failures need the remap-and-rerun recovery harness (internal/fault.Run,
 // or cmd/dyncg -faults).
 func WithFaultPlan(spec string, seed int64) MachineOption {
-	return func(c *machineConfig) {
-		c.faultSpec = spec
-		c.faultSeed = seed
-		c.hasFault = true
-	}
+	return topo.WithFaultPlan(spec, seed)
 }
 
 // NewMachine constructs a simulated machine of the given topology family
 // with at least n PEs — the single constructor behind every CLI,
 // example, and the serving daemon. Options configure the parallel
 // execution backend, tracing, and fault injection.
-func NewMachine(topo Topology, n int, opts ...MachineOption) (*Machine, error) {
-	var cfg machineConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	net, err := NewNetwork(topo, n)
-	if err != nil {
-		return nil, err
-	}
-	m := machine.New(net, cfg.mopts...)
-	if cfg.hasFault {
-		spec, err := fault.ParseSpec(cfg.faultSpec)
-		if err != nil {
-			return nil, err
-		}
-		if spec.Fail > 0 {
-			return nil, fmt.Errorf("dyncg: fault spec %q has permanent failures (fail=%d); a directly driven machine cannot survive a PE failure — use the recovery harness (cmd/dyncg -faults)", cfg.faultSpec, spec.Fail)
-		}
-		if !spec.Zero() {
-			p := fault.NewPlan(spec, cfg.faultSeed)
-			p.Bind(m.Size())
-			m.SetInjector(p)
-		}
-	}
-	if cfg.hasTracer {
-		trace.Attach(m, cfg.tracerName)
-	}
-	return m, nil
+func NewMachine(t Topology, n int, opts ...MachineOption) (*Machine, error) {
+	return topo.NewMachine(t, n, opts...)
 }
 
 // MachineTracer returns the Tracer attached to m by WithTracer (or

@@ -1,0 +1,75 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestGoldenReplayRecord pins the v1 computation-log wire format — the
+// hash-chained record envelope of internal/replaylog, one computation
+// record and one segment-sealing anchor. The chain fields (prev, hash)
+// cover every byte of the line, so any change to this schema invalidates
+// existing logs: it must come with a version bump, not a silent edit.
+func TestGoldenReplayRecord(t *testing.T) {
+	golden(t, "v1_replaylog.json", map[string]any{
+		"record": ReplayRecord{
+			V:      Version,
+			Seq:    41,
+			Time:   "2026-02-03T04:05:06.789Z",
+			Method: "POST",
+			Path:   "/v1/closest-point-sequence?",
+			Status: 200,
+			Meta: ReplayMeta{
+				Topology:  "hypercube",
+				PEs:       256,
+				Workers:   2,
+				FaultSeed: 7,
+				Session:   "",
+			},
+			Request:  json.RawMessage(`{"v":1,"system":[[[0],[0]],[[1,2],[0]]],"origin":0}`),
+			Response: json.RawMessage(`{"v":1,"algorithm":"closest-point-sequence","result":[]}`),
+			Prev:     "2c26b46b68ffc68ff99b453c1d30413413422d706483bfa0f98a5e886266e7ae",
+			Hash:     "fcde2b2edba56bf408601fb721fe9b5c338d10ee429ea04fae5511b68fbf8fb9",
+		},
+		"record_binary_request": ReplayRecord{
+			V:          Version,
+			Seq:        42,
+			Time:       "2026-02-03T04:05:07.001Z",
+			Method:     "POST",
+			Path:       "/v1/steady-hull",
+			Status:     400,
+			Meta:       ReplayMeta{},
+			RequestBin: []byte(`{"v":1,`),
+			Response:   json.RawMessage(`{"v":1,"code":"bad_request","error":"server: decoding request: unexpected end of JSON input"}`),
+			Prev:       "fcde2b2edba56bf408601fb721fe9b5c338d10ee429ea04fae5511b68fbf8fb9",
+			Hash:       "2e7d2c03a9507ae265ecf5b5356885a53393a2029d241394997265a1a25aefc6",
+		},
+		"session_record": ReplayRecord{
+			V:      Version,
+			Seq:    43,
+			Time:   "2026-02-03T04:05:08.500Z",
+			Method: "GET",
+			Path:   "/v1/sessions/s-1-0a1b2c3d/query?verify=1",
+			Status: 200,
+			Meta: ReplayMeta{
+				Topology: "mesh",
+				PEs:      16,
+				Session:  "s-1-0a1b2c3d",
+			},
+			Response: json.RawMessage(`{"v":1,"session":{"id":"s-1-0a1b2c3d"},"verified":true}`),
+			Prev:     "2e7d2c03a9507ae265ecf5b5356885a53393a2029d241394997265a1a25aefc6",
+			Hash:     "18ac3e7343f016890c510e93f935261169d9e3f565436429830faf0934f4f8e4",
+		},
+		"anchor": ReplayRecord{
+			V:      Version,
+			Seq:    44,
+			Time:   "2026-02-03T04:05:09.000Z",
+			Meta:   ReplayMeta{},
+			Anchor: true,
+			Count:  44,
+			Root:   "3f79bb7b435b05321651daefd374cdc681dc06faa65e374e38337b88ca046dea",
+			Prev:   "18ac3e7343f016890c510e93f935261169d9e3f565436429830faf0934f4f8e4",
+			Hash:   "252f10c83610ebca1a059c0bae8255eba2f95be4d1d7bcfa89d7248a82d9f111",
+		},
+	})
+}

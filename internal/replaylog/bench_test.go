@@ -1,0 +1,58 @@
+package replaylog
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dyncg/internal/api"
+)
+
+// benchLog is nil so the disabled case measures the real hot-path guard:
+// a package-level variable (not a constant) keeps the compiler from
+// folding the branch away, exactly like Server.rlog on a server without
+// -log-dir. The pinned gate on this case is 0 allocs/op — recording off
+// must cost the serving path nothing.
+var benchLog *Log
+
+// BenchmarkReplayLogAppend measures the computation-log hook: the
+// disabled nil-check path and a real enabled append (seal, hash, encode,
+// write) of a representative record.
+func BenchmarkReplayLogAppend(b *testing.B) {
+	request := json.RawMessage(`{"v":1,"system":[[[0],[0]],[[1,2],[0]],[[0],[20,-1]]],"origin":0}`)
+	response := json.RawMessage(`{"v":1,"algorithm":"closest-point-sequence","machine":{"topology":"hypercube","pes":64},"stats":{"time":740,"comm_steps":320,"local_steps":420,"rounds":110,"messages":5100},"pool":{"hit":true},"result":[{"point":1,"lo":0,"hi":6.333333333333333},{"point":2,"lo":6.333333333333333,"hi":"inf"}]}`)
+	meta := api.ReplayMeta{Topology: "hypercube", PEs: 64}
+
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if benchLog != nil {
+				rec := api.ReplayRecord{
+					Method: "POST", Path: "/v1/closest-point-sequence",
+					Status: 200, Meta: meta, Request: request, Response: response,
+				}
+				if err := benchLog.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("enabled", func(b *testing.B) {
+		l, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := api.ReplayRecord{
+				Method: "POST", Path: "/v1/closest-point-sequence",
+				Status: 200, Meta: meta, Request: request, Response: response,
+			}
+			if err := l.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package replaylog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"dyncg/internal/api"
+)
+
+// Divergence pinpoints the first replayed response that differed from
+// the recorded one.
+type Divergence struct {
+	Seq            uint64 // record index of the divergent request
+	Path           string
+	RecordedStatus int
+	GotStatus      int
+	Recorded       []byte // recorded response body
+	Got            []byte // replayed response body (recorded session IDs substituted)
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("record %d (%s %d): replayed status %d\nrecorded: %s\nreplayed: %s",
+		d.Seq, d.Path, d.RecordedStatus, d.GotStatus, d.Recorded, d.Got)
+}
+
+// Report summarises one replay run.
+type Report struct {
+	Records  int // records read from the log (anchors included)
+	Replayed int // requests re-executed and compared
+	Skipped  int // admission-artifact records not re-executed
+	Anchors  int // anchor records passed over
+	// Diverged is the first byte-level divergence, nil when every
+	// replayed response matched its recording exactly.
+	Diverged *Divergence
+}
+
+// replayConfig collects ReplayOption settings.
+type replayConfig struct {
+	from, to   uint64
+	hasTo      bool
+	ignorePool bool
+}
+
+// ReplayOption configures Replay.
+type ReplayOption func(*replayConfig)
+
+// WithRange replays only records with from ≤ Seq ≤ to (to < from means
+// no upper bound). A slice that addresses sessions created before the
+// slice cannot be replayed — start slices at a session boundary.
+func WithRange(from, to uint64) ReplayOption {
+	return func(c *replayConfig) {
+		c.from = from
+		if to >= from {
+			c.to, c.hasTo = to, true
+		}
+	}
+}
+
+// WithIgnorePool masks the "pool" object of one-shot responses before
+// diffing. Pool hits are deterministic for sequentially recorded traces,
+// but a trace recorded under concurrent traffic interleaves checkouts
+// nondeterministically; this option confines the diff to the
+// deterministic payload (machine, stats, fault report, result).
+func WithIgnorePool() ReplayOption {
+	return func(c *replayConfig) { c.ignorePool = true }
+}
+
+// admissionArtifact reports whether a recorded status depends on live
+// server load rather than the computation: such records cannot be
+// expected to reproduce under sequential replay and are skipped.
+func admissionArtifact(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// sessionID extracts the session ID of a create/update/query response
+// body ({"session":{"id":…}}), or "".
+func sessionID(body []byte) string {
+	var env struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return ""
+	}
+	return env.Session.ID
+}
+
+// maskPool canonicalises the "pool" object of a v1 response body.
+func maskPool(body []byte) []byte {
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(body, &env); err != nil {
+		return body
+	}
+	if _, ok := env["pool"]; !ok {
+		return body
+	}
+	env["pool"] = json.RawMessage(`{}`)
+	out, err := json.Marshal(env)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// Replay re-executes recorded requests, in log order, against h — a
+// fresh serving surface (server.New(...).Handler()) whose machine pool
+// starts empty — and diffs every response byte-for-byte against the
+// recorded one, stopping at the first divergence.
+//
+// Session IDs are assigned randomly by the live registry, so they are
+// the one intentionally nondeterministic byte sequence in a response.
+// Replay maintains the recorded→live ID mapping: recorded IDs in
+// request paths are rewritten to the live session, and live IDs in
+// replayed responses are substituted back before diffing, making the
+// comparison exact everywhere else.
+func Replay(h http.Handler, recs []api.ReplayRecord, opts ...ReplayOption) (*Report, error) {
+	var cfg replayConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rep := &Report{Records: len(recs)}
+	sessions := map[string]string{} // recorded ID → live ID
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Anchor {
+			rep.Anchors++
+			continue
+		}
+		if rec.Seq < cfg.from || (cfg.hasTo && rec.Seq > cfg.to) {
+			continue
+		}
+		if admissionArtifact(rec.Status) {
+			rep.Skipped++
+			continue
+		}
+
+		path := rec.Path
+		if rid := rec.Meta.Session; rid != "" {
+			live, ok := sessions[rid]
+			switch {
+			case ok:
+				path = strings.ReplaceAll(path, rid, live)
+			case rec.Status < http.StatusBadRequest && strings.Contains(path, rid):
+				// A successful request against a session with no recorded
+				// create cannot reproduce. (A recorded failure — e.g. 404
+				// for an unknown ID — replays verbatim and fails the same
+				// way.)
+				return rep, fmt.Errorf("replaylog: record %d addresses session %q created outside the replayed slice", rec.Seq, rid)
+			}
+		}
+		var body []byte
+		switch {
+		case len(rec.Request) > 0:
+			body = rec.Request
+		case len(rec.RequestBin) > 0:
+			body = rec.RequestBin
+		}
+		req := httptest.NewRequest(rec.Method, path, bytes.NewReader(body))
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		got := bytes.TrimSuffix(w.Body.Bytes(), []byte("\n"))
+
+		// A session create introduces a recorded→live ID pair; later
+		// records (and this diff) see the recorded ID.
+		if rec.Method == http.MethodPost && strings.HasSuffix(path, "/v1/sessions") && w.Code == http.StatusOK {
+			recorded, live := sessionID(rec.Response), sessionID(got)
+			if recorded != "" && live != "" {
+				sessions[recorded] = live
+			}
+		}
+		for recorded, live := range sessions {
+			got = bytes.ReplaceAll(got, []byte(live), []byte(recorded))
+		}
+
+		want := []byte(rec.Response)
+		if cfg.ignorePool {
+			want, got = maskPool(want), maskPool(got)
+		}
+		rep.Replayed++
+		if w.Code != rec.Status || !bytes.Equal(got, want) {
+			rep.Diverged = &Divergence{
+				Seq:            rec.Seq,
+				Path:           rec.Path,
+				RecordedStatus: rec.Status,
+				GotStatus:      w.Code,
+				Recorded:       want,
+				Got:            got,
+			}
+			return rep, nil
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,161 @@
+package replaylog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dyncg/internal/api"
+)
+
+// fakeServer is a deterministic serving surface: algorithm endpoints
+// echo the body, session creates mint live-N IDs, session queries echo
+// the addressed ID. Fresh instances restart the ID counter, mimicking
+// the real registry's replay-visible nondeterminism (different IDs,
+// same payloads).
+type fakeServer struct {
+	nextID int
+	salt   string // varies the minted IDs across instances
+}
+
+func (s *fakeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/sessions":
+		s.nextID++
+		fmt.Fprintf(w, `{"session":{"id":"%s-%d"}}`+"\n", s.salt, s.nextID)
+	case strings.HasPrefix(r.URL.Path, "/v1/sessions/"):
+		id := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+		fmt.Fprintf(w, `{"session":{"id":"%s"},"verify":%q}`+"\n", id, r.URL.RawQuery)
+	default:
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, `{"path":%q,"echo":%s,"pool":{"hits":1}}`+"\n", r.URL.Path, body)
+	}
+}
+
+func algoRecord(seq uint64, path, body string) api.ReplayRecord {
+	return api.ReplayRecord{
+		Seq:      seq,
+		Method:   http.MethodPost,
+		Path:     path,
+		Status:   200,
+		Request:  json.RawMessage(body),
+		Response: json.RawMessage(fmt.Sprintf(`{"path":%q,"echo":%s,"pool":{"hits":1}}`, path, body)),
+	}
+}
+
+// recordedTrace is a trace as the log would hold it, recorded against a
+// fakeServer minting "rec"-salted session IDs.
+func recordedTrace() []api.ReplayRecord {
+	return []api.ReplayRecord{
+		algoRecord(0, "/v1/steady-hull", `{"points":[[0,0]]}`),
+		{
+			Seq: 1, Method: http.MethodPost, Path: "/v1/sessions", Status: 200,
+			Request:  json.RawMessage(`{"topology":"mesh"}`),
+			Response: json.RawMessage(`{"session":{"id":"rec-1"}}`),
+		},
+		{
+			Seq: 2, Method: http.MethodGet, Path: "/v1/sessions/rec-1?verify=1", Status: 200,
+			Meta:     api.ReplayMeta{Session: "rec-1"},
+			Response: json.RawMessage(`{"session":{"id":"rec-1"},"verify":"verify=1"}`),
+		},
+		{Seq: 3, Method: http.MethodPost, Path: "/v1/steady-hull", Status: 429,
+			Response: json.RawMessage(`{"error":"overloaded"}`)},
+		algoRecord(4, "/v1/closest-pair-sequence", `{"points":[[2,3]]}`),
+		{Seq: 5, Anchor: true, Count: 5},
+	}
+}
+
+func TestReplayMatches(t *testing.T) {
+	// The live server mints different session IDs than the recording.
+	rep, err := Replay(&fakeServer{salt: "live"}, recordedTrace())
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged != nil {
+		t.Fatalf("unexpected divergence: %s", rep.Diverged)
+	}
+	if rep.Records != 6 || rep.Replayed != 4 || rep.Skipped != 1 || rep.Anchors != 1 {
+		t.Fatalf("Report = %+v", rep)
+	}
+}
+
+func TestReplayReportsFirstDivergence(t *testing.T) {
+	trace := recordedTrace()
+	trace[4].Response = json.RawMessage(`{"path":"/v1/closest-pair-sequence","echo":{"points":[[9,9]]},"pool":{"hits":1}}`)
+	rep, err := Replay(&fakeServer{salt: "live"}, trace)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	d := rep.Diverged
+	if d == nil {
+		t.Fatal("divergence not detected")
+	}
+	if d.Seq != 4 {
+		t.Fatalf("Diverged.Seq = %d, want 4", d.Seq)
+	}
+	if d.RecordedStatus != 200 || d.GotStatus != 200 {
+		t.Fatalf("Diverged statuses = (%d, %d)", d.RecordedStatus, d.GotStatus)
+	}
+	for _, want := range []string{"record 4", "/v1/closest-pair-sequence", "[[9,9]]", "[[2,3]]"} {
+		if !strings.Contains(d.String(), want) {
+			t.Fatalf("Diverged.String() = %q, missing %q", d.String(), want)
+		}
+	}
+}
+
+func TestReplayDivergentStatus(t *testing.T) {
+	trace := recordedTrace()
+	trace[0].Status = 400
+	rep, err := Replay(&fakeServer{salt: "live"}, trace)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged == nil || rep.Diverged.Seq != 0 || rep.Diverged.GotStatus != 200 {
+		t.Fatalf("Report = %+v", rep)
+	}
+}
+
+func TestReplayRange(t *testing.T) {
+	rep, err := Replay(&fakeServer{salt: "live"}, recordedTrace(), WithRange(3, 4))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged != nil {
+		t.Fatalf("unexpected divergence: %s", rep.Diverged)
+	}
+	if rep.Replayed != 1 || rep.Skipped != 1 {
+		t.Fatalf("Report = %+v", rep)
+	}
+}
+
+func TestReplaySessionOutsideSliceErrors(t *testing.T) {
+	_, err := Replay(&fakeServer{salt: "live"}, recordedTrace(), WithRange(2, 0))
+	if err == nil || !strings.Contains(err.Error(), "outside the replayed slice") {
+		t.Fatalf("err = %v, want session-outside-slice error", err)
+	}
+}
+
+func TestReplayIgnorePool(t *testing.T) {
+	trace := recordedTrace()
+	// A pool mismatch (trace recorded under concurrency) diverges by
+	// default and is masked under WithIgnorePool.
+	trace[0].Response = json.RawMessage(`{"path":"/v1/steady-hull","echo":{"points":[[0,0]]},"pool":{"hits":7}}`)
+	rep, err := Replay(&fakeServer{salt: "live"}, trace)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged == nil || rep.Diverged.Seq != 0 {
+		t.Fatalf("pool mismatch not detected: %+v", rep)
+	}
+	rep, err = Replay(&fakeServer{salt: "live"}, trace, WithIgnorePool())
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged != nil {
+		t.Fatalf("pool mismatch not masked: %s", rep.Diverged)
+	}
+}

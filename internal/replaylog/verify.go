@@ -1,0 +1,159 @@
+package replaylog
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dyncg/internal/api"
+)
+
+// TamperError reports the first record at which chain verification
+// failed: the global record index (Seq), the segment file, and why.
+type TamperError struct {
+	Seq     uint64 // index of the first bad record
+	Segment string // segment file the record lives in
+	Reason  string
+}
+
+func (e *TamperError) Error() string {
+	return fmt.Sprintf("replaylog: record %d (%s): %s", e.Seq, e.Segment, e.Reason)
+}
+
+// verifier carries the chain state threaded through segments.
+type verifier struct {
+	seq    uint64   // expected Seq of the next record
+	prev   string   // expected Prev of the next record
+	leaves []string // record hashes since the last anchor
+}
+
+// verifyLine checks one JSONL line against the chain: strict decode,
+// canonical byte equality, hash recomputation, Prev/Seq linkage, and —
+// for anchors — the Merkle root and count of the segment's records. Any
+// single flipped byte in the line fails one of these checks: a flip in
+// a structural byte breaks the strict decode or the canonical
+// re-encoding, a flip in the content changes the recomputed hash, and a
+// flip in the stored hash breaks both the hash equality and the next
+// record's Prev link.
+func (v *verifier) verifyLine(line []byte, seg string) (api.ReplayRecord, error) {
+	fail := func(reason string, args ...any) (api.ReplayRecord, error) {
+		return api.ReplayRecord{}, &TamperError{Seq: v.seq, Segment: seg, Reason: fmt.Sprintf(reason, args...)}
+	}
+	var rec api.ReplayRecord
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return fail("undecodable record: %v", err)
+	}
+	canonical, err := json.Marshal(&rec)
+	if err != nil {
+		return fail("unencodable record: %v", err)
+	}
+	if !bytes.Equal(canonical, line) {
+		return fail("stored bytes differ from the canonical encoding")
+	}
+	if rec.V != api.Version {
+		return fail("schema version %d (want %d)", rec.V, api.Version)
+	}
+	if rec.Seq != v.seq {
+		return fail("sequence %d (want %d)", rec.Seq, v.seq)
+	}
+	if rec.Prev != v.prev {
+		return fail("prev hash %q does not match chain head %q", rec.Prev, v.prev)
+	}
+	stored := rec.Hash
+	rec.Hash = ""
+	pre, err := json.Marshal(&rec)
+	if err != nil {
+		return fail("unencodable record: %v", err)
+	}
+	sum := sha256.Sum256(pre)
+	if got := hex.EncodeToString(sum[:]); got != stored {
+		return fail("content hash %s does not match stored %s", got, stored)
+	}
+	rec.Hash = stored
+	if rec.Anchor {
+		if rec.Count != uint64(len(v.leaves)) {
+			return fail("anchor covers %d records, segment has %d", rec.Count, len(v.leaves))
+		}
+		if root := MerkleRoot(v.leaves); rec.Root != root {
+			return fail("anchor Merkle root %s does not match recomputed %s", rec.Root, root)
+		}
+		v.leaves = v.leaves[:0]
+	} else {
+		v.leaves = append(v.leaves, rec.Hash)
+	}
+	v.seq++
+	v.prev = rec.Hash
+	return rec, nil
+}
+
+// verifySegment verifies one segment's raw bytes, appending its records.
+func (v *verifier) verifySegment(data []byte, seg string) ([]api.ReplayRecord, error) {
+	var recs []api.ReplayRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 64<<20)
+	for sc.Scan() {
+		rec, err := v.verifyLine(sc.Bytes(), seg)
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, &TamperError{Seq: v.seq, Segment: seg, Reason: err.Error()}
+	}
+	return recs, nil
+}
+
+// VerifySegment verifies a single segment's raw bytes as a standalone
+// chain starting at (seq 0, genesis prev) and returns its records — the
+// parsing-and-verification core that FuzzReplayLogDecode drives.
+func VerifySegment(data []byte) ([]api.ReplayRecord, error) {
+	var v verifier
+	return v.verifySegment(data, "segment")
+}
+
+// verifyDir verifies the given segment files as one chain.
+func verifyDir(dir string, segs []string) ([]api.ReplayRecord, error) {
+	var v verifier
+	var all []api.ReplayRecord
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			return all, fmt.Errorf("replaylog: %w", err)
+		}
+		recs, err := v.verifySegment(data, seg)
+		all = append(all, recs...)
+		if err != nil {
+			return all, err
+		}
+	}
+	return all, nil
+}
+
+// VerifyChain verifies the whole log under dir — every segment, in
+// chain order — and returns the number of records (anchors included)
+// that verified before any failure. On tampering the error is a
+// *TamperError carrying the index of the first bad record.
+func VerifyChain(dir string) (int, error) {
+	recs, err := ReadDir(dir)
+	return len(recs), err
+}
+
+// ReadDir verifies the whole log under dir and returns its records
+// (anchors included) in chain order.
+func ReadDir(dir string) ([]api.ReplayRecord, error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("replaylog: no log segments under %s", dir)
+	}
+	return verifyDir(dir, segs)
+}

@@ -3,13 +3,14 @@ package server
 import (
 	"testing"
 
-	"dyncg"
 	"dyncg/internal/machine"
+	"dyncg/internal/topo"
+	"dyncg/internal/trace"
 )
 
 func newMachine(t testing.TB, pes int) *machine.M {
 	t.Helper()
-	m, err := dyncg.NewMachine(dyncg.Hypercube, pes)
+	m, err := topo.NewMachine(topo.Hypercube, pes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestPoolPutDetachesRequestState(t *testing.T) {
 	p := NewPool(4)
 	key := Key{Topo: "hypercube", PEs: 64, Workers: 1}
 	m := newMachine(t, 64)
-	dyncg.AttachTracer(m, "leftover")
+	trace.Attach(m, "leftover")
 	p.Put(key, m)
 	if got := p.Get(key); got.Observed() {
 		t.Error("checked-out machine still carries the previous request's observer")

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dyncg/internal/api"
+	"dyncg/internal/replaylog"
+)
+
+// rawCall sends raw bytes (or nil) to the handler.
+func rawCall(t *testing.T, h http.Handler, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	r := httptest.NewRequest(method, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w.Code, w.Body.Bytes()
+}
+
+// TestServerRecordsReplayLog pins the hot-path hook: with a log
+// configured, every served /v1/* request appends exactly one record
+// whose Response field holds byte-for-byte what went over the wire, and
+// the replaylog counters surface on /metrics.
+func TestServerRecordsReplayLog(t *testing.T) {
+	dir := t.TempDir()
+	rlog, err := replaylog.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s := New(Config{ReplayLog: rlog})
+
+	cases := endpointCases(t)
+	req := cases["steady-hull"]
+	st, body := post(t, s.Handler(), "steady-hull", req)
+	if st != http.StatusOK {
+		t.Fatalf("steady-hull: status %d, body %s", st, body)
+	}
+
+	// Session surface: create carries the minted ID in its record meta.
+	screq := api.SessionCreateRequest{
+		V: api.Version, Algorithm: "closest-point-sequence",
+		System: req.System, Origin: 0,
+	}
+	stc, screate := sessionCall(t, s.Handler(), http.MethodPost, "/v1/sessions", screq)
+	if stc != http.StatusOK {
+		t.Fatalf("session create: status %d, body %s", stc, screate)
+	}
+
+	// A non-JSON body is recorded too, byte-exact, in RequestBin.
+	stb, _ := rawCall(t, s.Handler(), http.MethodPost, "/v1/steady-hull", []byte(`{"v":1,`))
+	if stb != http.StatusBadRequest {
+		t.Fatalf("invalid body: status %d", stb)
+	}
+
+	if err := rlog.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := rlog.Stats().Records; got != 3 {
+		t.Fatalf("log has %d records, want 3", got)
+	}
+
+	recs, err := replaylog.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	first := recs[0]
+	if first.Method != http.MethodPost || first.Path != "/v1/steady-hull" || first.Status != http.StatusOK {
+		t.Fatalf("record 0 = %s %s %d", first.Method, first.Path, first.Status)
+	}
+	if first.Meta.Topology != "hypercube" || first.Meta.PEs == 0 {
+		t.Fatalf("record 0 meta = %+v", first.Meta)
+	}
+	// The recorded response must be exactly the wire bytes (modulo the
+	// encoder's trailing newline).
+	if want := append([]byte(nil), first.Response...); !bytes.Equal(append(want, '\n'), body) {
+		t.Fatalf("recorded response differs from wire bytes:\nrecorded: %s\nwire:     %s", first.Response, body)
+	}
+	if sid := recs[1].Meta.Session; !strings.HasPrefix(sid, "s-") {
+		t.Fatalf("session create record meta.Session = %q", sid)
+	}
+	if !bytes.Equal(recs[2].RequestBin, []byte(`{"v":1,`)) {
+		t.Fatalf("invalid body not recorded in RequestBin: %+v", recs[2])
+	}
+
+	// Replaying the in-package trace against a fresh server reproduces
+	// every byte.
+	fresh := New(Config{})
+	rep, err := replaylog.Replay(fresh.Handler(), recs)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged != nil {
+		t.Fatalf("replay diverged: %s", rep.Diverged)
+	}
+	if rep.Replayed != 3 {
+		t.Fatalf("replayed %d, want 3", rep.Replayed)
+	}
+}
+
+// TestMetricsReplayLog pins the dyncg_replaylog_* exposition.
+func TestMetricsReplayLog(t *testing.T) {
+	rlog, err := replaylog.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer rlog.Close()
+	s := New(Config{ReplayLog: rlog})
+	if st, body := post(t, s.Handler(), "steady-hull", endpointCases(t)["steady-hull"]); st != http.StatusOK {
+		t.Fatalf("steady-hull: status %d, body %s", st, body)
+	}
+	_, metrics := rawCall(t, s.Handler(), http.MethodGet, "/metrics", nil)
+	for _, want := range []string{
+		"dyncg_replaylog_records_total 1",
+		"dyncg_replaylog_bytes_total",
+		"dyncg_replaylog_segments_total 1",
+		"dyncg_replaylog_append_errors_total 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A server without a log stays silent about it.
+	plain := New(Config{})
+	_, metrics = rawCall(t, plain.Handler(), http.MethodGet, "/metrics", nil)
+	if strings.Contains(string(metrics), "dyncg_replaylog") {
+		t.Fatal("metrics expose replaylog counters with recording disabled")
+	}
+}

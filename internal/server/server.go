@@ -13,12 +13,13 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dyncg"
 	"dyncg/internal/api"
 	"dyncg/internal/fault"
 	"dyncg/internal/machine"
 	"dyncg/internal/motion"
+	"dyncg/internal/replaylog"
 	"dyncg/internal/session"
+	"dyncg/internal/topo"
 	"dyncg/internal/trace"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	SessionTTL time.Duration
 	// Logger receives one structured record per request (nil = discard).
 	Logger *slog.Logger
+	// ReplayLog, when non-nil, records every served /v1/* request and
+	// response into the hash-chained computation log (internal/replaylog)
+	// in arrival order. Nil disables recording at the cost of one
+	// nil-check on the hot path.
+	ReplayLog *replaylog.Log
 }
 
 // Server is the HTTP serving surface: POST /v1/<algorithm> for every
@@ -64,6 +70,7 @@ type Server struct {
 	queue    chan struct{} // executing + waiting requests
 	draining atomic.Bool
 	log      *slog.Logger
+	rlog     *replaylog.Log
 	mux      *http.ServeMux
 	sessions *session.Registry
 	sessMet  *sessionMetrics
@@ -106,6 +113,7 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		queue: make(chan struct{}, cfg.MaxInFlight+cfg.MaxQueue),
 		log:   log,
+		rlog:  cfg.ReplayLog,
 		mux:   http.NewServeMux(),
 	}
 	s.sessMet = newSessionMetrics()
@@ -194,6 +202,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// finish writes the response and, when the computation log is enabled,
+// appends one replay record for the request. The disabled path is the
+// plain writeJSON hot path behind a single nil-check; the enabled path
+// writes the exact bytes writeJSON would (Marshal plus the Encoder's
+// trailing newline) so recorded responses are byte-identical to live
+// ones.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, status int, out any, raw []byte, meta api.ReplayMeta) {
+	if s.rlog == nil {
+		writeJSON(w, status, out)
+		return
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		writeJSON(w, status, out)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+	rec := api.ReplayRecord{
+		Method:   r.Method,
+		Path:     r.URL.RequestURI(),
+		Status:   status,
+		Meta:     meta,
+		Response: body,
+	}
+	switch {
+	case len(raw) == 0:
+	case json.Valid(raw):
+		rec.Request = raw
+	default:
+		// A rejected non-JSON body cannot ride in a RawMessage; keep the
+		// recorded failure byte-exact as base64.
+		rec.RequestBin = raw
+	}
+	if err := s.rlog.Append(rec); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelError, "replaylog",
+			slog.String("error", err.Error()))
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -225,6 +274,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		d = 1
 	}
 	fmt.Fprintf(w, "dyncgd_draining %d\n", d)
+	if s.rlog != nil {
+		rs := s.rlog.Stats()
+		fmt.Fprintf(w, "# TYPE dyncg_replaylog_records_total counter\n")
+		fmt.Fprintf(w, "dyncg_replaylog_records_total %d\n", rs.Records)
+		fmt.Fprintf(w, "# TYPE dyncg_replaylog_bytes_total counter\n")
+		fmt.Fprintf(w, "dyncg_replaylog_bytes_total %d\n", rs.Bytes)
+		fmt.Fprintf(w, "# TYPE dyncg_replaylog_segments_total counter\n")
+		fmt.Fprintf(w, "dyncg_replaylog_segments_total %d\n", rs.Segments)
+		fmt.Fprintf(w, "# TYPE dyncg_replaylog_append_errors_total counter\n")
+		fmt.Fprintf(w, "dyncg_replaylog_append_errors_total %d\n", rs.Errors)
+	}
 }
 
 // handleAlgorithm serves POST /v1/<algorithm>: decode, validate, admit,
@@ -234,16 +294,23 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("algorithm")
 
 	var (
-		status int
-		out    any
-		mi     api.MachineInfo
-		pi     api.PoolInfo
-		sysN   int
-		sim    int64
-		errMsg string
+		status    int
+		out       any
+		mi        api.MachineInfo
+		pi        api.PoolInfo
+		sysN      int
+		sim       int64
+		errMsg    string
+		raw       []byte
+		faultSeed int64
 	)
 	defer func() {
-		writeJSON(w, status, out)
+		s.finish(w, r, status, out, raw, api.ReplayMeta{
+			Topology:  mi.Topology,
+			PEs:       mi.PEs,
+			Workers:   mi.Workers,
+			FaultSeed: faultSeed,
+		})
 		lat := time.Since(started)
 		s.met.Observe(name, status, lat)
 		lvl := slog.LevelInfo
@@ -276,14 +343,20 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
-	var req api.Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	var rerr error
+	raw, rerr = io.ReadAll(r.Body)
+	if rerr != nil {
 		st := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		if errors.As(rerr, &tooBig) {
 			st = http.StatusRequestEntityTooLarge
 		}
-		fail(st, "bad_request", fmt.Errorf("server: decoding request: %w", err))
+		fail(st, "bad_request", fmt.Errorf("server: decoding request: %w", rerr))
+		return
+	}
+	var req api.Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		fail(http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
 	if req.V != api.Version {
@@ -294,9 +367,9 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 
 	topoName := req.Options.Topology
 	if topoName == "" {
-		topoName = string(dyncg.Hypercube)
+		topoName = string(topo.Hypercube)
 	}
-	topo, err := dyncg.ParseTopology(topoName)
+	tp, err := topo.Parse(topoName)
 	if err != nil {
 		fail(http.StatusBadRequest, "bad_topology", err)
 		return
@@ -332,11 +405,11 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		infoWorkers = workers
 	}
 
-	need := alg.pes(string(topo), sys)
+	need := alg.pes(string(tp), sys)
 	if req.Options.PEs > need {
 		need = req.Options.PEs
 	}
-	classSize, err := dyncg.TopologySize(topo, need)
+	classSize, err := topo.Size(tp, need)
 	if err != nil {
 		st, code := errStatus(err)
 		fail(st, code, err)
@@ -377,7 +450,8 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		// Fault-injected runs bypass the pool: the recovery harness owns
 		// machine construction across its remap-and-rerun attempts.
 		pi.Bypassed = true
-		net, err := dyncg.NewNetwork(topo, need)
+		faultSeed = req.Options.FaultSeed
+		net, err := topo.NewNetwork(tp, need)
 		if err != nil {
 			st, code := errStatus(err)
 			fail(st, code, err)
@@ -407,7 +481,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		runErr = err
 		if res != nil {
 			stats = res.Stats
-			mi = api.MachineInfo{Topology: string(topo), PEs: res.Topo.Size(), Workers: infoWorkers}
+			mi = api.MachineInfo{Topology: string(tp), PEs: res.Topo.Size(), Workers: infoWorkers}
 			freport = &api.FaultReport{
 				Attempts:    res.Attempts,
 				Transients:  res.Transients,
@@ -416,15 +490,15 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		key := Key{Topo: string(topo), PEs: classSize, Workers: workers}
+		key := Key{Topo: string(tp), PEs: classSize, Workers: workers}
 		m := s.pool.Get(key)
 		pi.Hit = m != nil
 		if m == nil {
-			var mopts []dyncg.MachineOption
+			var mopts []topo.Option
 			if workers > 1 {
-				mopts = append(mopts, dyncg.WithParallel(workers))
+				mopts = append(mopts, topo.WithParallel(workers))
 			}
-			m, err = dyncg.NewMachine(topo, need, mopts...)
+			m, err = topo.NewMachine(tp, need, mopts...)
 			if err != nil {
 				st, code := errStatus(err)
 				fail(st, code, err)
@@ -432,7 +506,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		defer s.pool.Put(key, m)
-		mi = api.MachineInfo{Topology: string(topo), PEs: m.Size(), Workers: infoWorkers}
+		mi = api.MachineInfo{Topology: string(tp), PEs: m.Size(), Workers: infoWorkers}
 		if alg.minSize != nil && m.Size() < alg.minSize(sys) {
 			runErr = fmt.Errorf("server: %s needs %d PEs, machine has %d: %w",
 				name, alg.minSize(sys), m.Size(), machine.ErrTooFewPEs)

@@ -13,11 +13,12 @@ import (
 	"testing"
 	"time"
 
-	"dyncg"
 	"dyncg/internal/api"
+	"dyncg/internal/core"
 	"dyncg/internal/fault"
 	"dyncg/internal/machine"
 	"dyncg/internal/motion"
+	"dyncg/internal/topo"
 )
 
 // wireSystem converts a system to its wire form (point → coordinate →
@@ -116,72 +117,72 @@ func endpointCases(t *testing.T) map[string]api.Request {
 // reference the served answers must match bit for bit. The facade calls
 // here are written out by hand (not routed through the dispatch table)
 // so the test exercises an independent path to each algorithm.
-func runDirect(t *testing.T, name string, topo dyncg.Topology, req api.Request) (any, machine.Stats) {
+func runDirect(t *testing.T, name string, tp topo.Topology, req api.Request) (any, machine.Stats) {
 	t.Helper()
 	sys, err := systemFrom(req.System)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := dyncg.NewMachine(topo, algorithms[name].pes(string(topo), sys))
+	m, err := topo.NewMachine(tp, algorithms[name].pes(string(tp), sys))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var result any
 	switch name {
 	case "closest-point-sequence":
-		seq, err := dyncg.ClosestPointSequence(m, sys, req.Origin)
+		seq, err := core.ClosestPointSequence(m, sys, req.Origin)
 		check(t, err)
 		result = neighborEvents(seq)
 	case "farthest-point-sequence":
-		seq, err := dyncg.FarthestPointSequence(m, sys, req.Origin)
+		seq, err := core.FarthestPointSequence(m, sys, req.Origin)
 		check(t, err)
 		result = neighborEvents(seq)
 	case "collision-times":
-		cs, err := dyncg.CollisionTimes(m, sys, req.Origin)
+		cs, err := core.CollisionTimes(m, sys, req.Origin)
 		check(t, err)
 		result = collisions(cs)
 	case "hull-vertex-intervals":
-		ivs, err := dyncg.HullVertexIntervals(m, sys, req.Origin)
+		ivs, err := core.HullVertexIntervals(m, sys, req.Origin)
 		check(t, err)
 		result = intervals(ivs)
 	case "containment-intervals":
-		ivs, err := dyncg.ContainmentIntervals(m, sys, req.Dims)
+		ivs, err := core.ContainmentIntervals(m, sys, req.Dims)
 		check(t, err)
 		result = intervals(ivs)
 	case "smallest-hypercube-edge":
-		pw, err := dyncg.SmallestHypercubeEdge(m, sys)
+		pw, err := core.SmallestHypercubeEdge(m, sys)
 		check(t, err)
 		result = piecewise(pw)
 	case "smallest-ever-hypercube":
-		dmin, tmin, err := dyncg.SmallestEverHypercube(m, sys)
+		dmin, tmin, err := core.SmallestEverHypercube(m, sys)
 		check(t, err)
 		result = api.MinCube{D: dmin, T: tmin}
 	case "steady-nearest-neighbor":
-		nn, err := dyncg.SteadyNearestNeighborD(m, sys, req.Origin, req.Farthest)
+		nn, err := core.SteadyNearestNeighborD(m, sys, req.Origin, req.Farthest)
 		check(t, err)
 		result = api.Neighbor{Point: nn}
 	case "steady-closest-pair":
-		a, b, err := dyncg.SteadyClosestPair(m, sys)
+		a, b, err := core.SteadyClosestPair(m, sys)
 		check(t, err)
 		result = api.Pair{A: a, B: b}
 	case "steady-hull":
-		hull, err := dyncg.SteadyHull(m, sys)
+		hull, err := core.SteadyHull(m, sys)
 		check(t, err)
 		result = api.Hull{Vertices: hull}
 	case "steady-farthest-pair":
-		a, b, d2, err := dyncg.SteadyFarthestPair(m, sys)
+		a, b, d2, err := core.SteadyFarthestPair(m, sys)
 		check(t, err)
 		result = api.FarthestPair{A: a, B: b, Dist2: coefs(d2)}
 	case "steady-min-area-rect":
-		rect, err := dyncg.SteadyMinAreaRect(m, sys)
+		rect, err := core.SteadyMinAreaRect(m, sys)
 		check(t, err)
 		result = api.Rect{Edge: rect.Edge, Area: fmt.Sprintf("%v", rect.Area)}
 	case "closest-pair-sequence":
-		seq, err := dyncg.ClosestPairSequence(m, sys)
+		seq, err := core.ClosestPairSequence(m, sys)
 		check(t, err)
 		result = pairEvents(seq)
 	case "farthest-pair-sequence":
-		seq, err := dyncg.FarthestPairSequence(m, sys)
+		seq, err := core.FarthestPairSequence(m, sys)
 		check(t, err)
 		result = pairEvents(seq)
 	default:
@@ -206,10 +207,10 @@ func TestEndpointsBitIdenticalToFacade(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	for _, topo := range []dyncg.Topology{dyncg.Hypercube, dyncg.Mesh} {
+	for _, tp := range []topo.Topology{topo.Hypercube, topo.Mesh} {
 		for name, req := range endpointCases(t) {
-			t.Run(string(topo)+"/"+name, func(t *testing.T) {
-				req.Options.Topology = string(topo)
+			t.Run(string(tp)+"/"+name, func(t *testing.T) {
+				req.Options.Topology = string(tp)
 				body, err := json.Marshal(req)
 				if err != nil {
 					t.Fatal(err)
@@ -227,7 +228,7 @@ func TestEndpointsBitIdenticalToFacade(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				wantResult, wantStats := runDirect(t, name, topo, req)
+				wantResult, wantStats := runDirect(t, name, tp, req)
 				wantJSON, err := json.Marshal(wantResult)
 				if err != nil {
 					t.Fatal(err)
@@ -273,7 +274,7 @@ func TestFaultedRequestBitIdentical(t *testing.T) {
 
 	spec, err := fault.ParseSpec(specStr)
 	check(t, err)
-	net, err := dyncg.NewNetwork(dyncg.Hypercube, algorithms["steady-hull"].pes("hypercube", sys))
+	net, err := topo.NewNetwork(topo.Hypercube, algorithms["steady-hull"].pes("hypercube", sys))
 	check(t, err)
 	var hull []int
 	res, err := fault.Run(net, fault.NewPlan(spec, 42), func(m *machine.M) error {
@@ -281,7 +282,7 @@ func TestFaultedRequestBitIdentical(t *testing.T) {
 			return fmt.Errorf("degraded below %d PEs: %w", sys.N(), machine.ErrTooFewPEs)
 		}
 		var err error
-		hull, err = dyncg.SteadyHull(m, sys)
+		hull, err = core.SteadyHull(m, sys)
 		return err
 	})
 	check(t, err)

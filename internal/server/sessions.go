@@ -27,11 +27,11 @@ import (
 	"sync"
 	"time"
 
-	"dyncg"
 	"dyncg/internal/api"
 	"dyncg/internal/motion"
 	"dyncg/internal/poly"
 	"dyncg/internal/session"
+	"dyncg/internal/topo"
 )
 
 // releaseSession is the registry's release callback: zero the pinned
@@ -176,22 +176,27 @@ func (s *Server) sessionLog(ctx context.Context, endpoint, id string, status int
 }
 
 // decodeSession decodes a session request body with the server's body
-// cap and version gate.
-func decodeSession(w http.ResponseWriter, r *http.Request, maxBody int64, v any, version func() int) (int, string, error) {
+// cap and version gate, returning the raw body bytes for the
+// computation log.
+func decodeSession(w http.ResponseWriter, r *http.Request, maxBody int64, v any, version func() int) ([]byte, int, string, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
 		st := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			st = http.StatusRequestEntityTooLarge
 		}
-		return st, "bad_request", fmt.Errorf("server: decoding request: %w", err)
+		return raw, st, "bad_request", fmt.Errorf("server: decoding request: %w", err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return raw, http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err)
 	}
 	if got := version(); got != api.Version {
-		return http.StatusBadRequest, "bad_version",
+		return raw, http.StatusBadRequest, "bad_version",
 			fmt.Errorf("server: unsupported schema version %d (want %d)", got, api.Version)
 	}
-	return 0, "", nil
+	return raw, 0, "", nil
 }
 
 // handleSessionCreate serves POST /v1/sessions: admit, pin a machine
@@ -204,9 +209,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		status int
 		out    any
 		sid    string
+		raw    []byte
+		mi     api.MachineInfo
 	)
 	defer func() {
-		writeJSON(w, status, out)
+		s.finish(w, r, status, out, raw, api.ReplayMeta{
+			Topology: mi.Topology, PEs: mi.PEs, Workers: mi.Workers, Session: sid,
+		})
 		lat := time.Since(started)
 		s.met.Observe("sessions.create", status, lat)
 		s.sessionLog(r.Context(), "create", sid, status, lat)
@@ -216,8 +225,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req api.SessionCreateRequest
-	if st, code, err := decodeSession(w, r, s.cfg.MaxBody, &req, func() int { return req.V }); st != 0 {
-		fail(st, code, err)
+	body, st, code, derr := decodeSession(w, r, s.cfg.MaxBody, &req, func() int { return req.V })
+	raw = body
+	if st != 0 {
+		fail(st, code, derr)
 		return
 	}
 	algo, err := session.ParseAlgo(req.Algorithm)
@@ -227,16 +238,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	topoName := req.Options.Topology
 	if topoName == "" {
-		topoName = string(dyncg.Hypercube)
+		topoName = string(topo.Hypercube)
 	}
-	topo, err := dyncg.ParseTopology(topoName)
+	tp, err := topo.Parse(topoName)
 	if err != nil {
 		fail(http.StatusBadRequest, "bad_topology", err)
 		return
 	}
-	if topo != dyncg.Hypercube && topo != dyncg.Mesh {
+	if tp != topo.Hypercube && tp != topo.Mesh {
 		fail(http.StatusBadRequest, "bad_topology",
-			fmt.Errorf("server: sessions support mesh and hypercube machines, not %q", topo))
+			fmt.Errorf("server: sessions support mesh and hypercube machines, not %q", tp))
 		return
 	}
 	sys, err := systemFrom(req.System)
@@ -262,11 +273,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			maxK = 1
 		}
 	}
-	need := session.PEs(string(topo), algo, capacity, maxK)
+	need := session.PEs(string(tp), algo, capacity, maxK)
 	if req.Options.PEs > need {
 		need = req.Options.PEs
 	}
-	classSize, err := dyncg.TopologySize(topo, need)
+	classSize, err := topo.Size(tp, need)
 	if err != nil {
 		st, code := errStatus(err)
 		fail(st, code, err)
@@ -296,16 +307,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	key := Key{Topo: string(topo), PEs: classSize, Workers: workers}
+	key := Key{Topo: string(tp), PEs: classSize, Workers: workers}
 	m := s.pool.Get(key)
 	var pi api.PoolInfo
 	pi.Hit = m != nil
 	if m == nil {
-		var mopts []dyncg.MachineOption
+		var mopts []topo.Option
 		if workers > 1 {
-			mopts = append(mopts, dyncg.WithParallel(workers))
+			mopts = append(mopts, topo.WithParallel(workers))
 		}
-		m, err = dyncg.NewMachine(topo, need, mopts...)
+		m, err = topo.NewMachine(tp, need, mopts...)
 		if err != nil {
 			st, code := errStatus(err)
 			fail(st, code, err)
@@ -327,7 +338,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	buildStats := m.Stats()
-	ss, err := s.sessions.Add(eng, m, string(topo), workers)
+	ss, err := s.sessions.Add(eng, m, string(tp), workers)
 	if err != nil {
 		m.WarmReset()
 		s.pool.Put(key, m)
@@ -337,14 +348,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sid = ss.ID
 
-	status = http.StatusOK
-	out = &api.SessionCreateResponse{
+	resp := &api.SessionCreateResponse{
 		V:       api.Version,
 		Session: sessionInfo(ss),
 		Pool:    pi,
 		Stats:   api.FromStats(buildStats),
 		Result:  sessionResult(algo, eng.Result()),
 	}
+	mi = resp.Session.Machine
+	status, out = http.StatusOK, resp
 }
 
 // handleSessionUpdate serves POST /v1/sessions/{id}/update: admit, then
@@ -359,9 +371,13 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		status int
 		out    any
 		nd     int
+		raw    []byte
+		mi     api.MachineInfo
 	)
 	defer func() {
-		writeJSON(w, status, out)
+		s.finish(w, r, status, out, raw, api.ReplayMeta{
+			Topology: mi.Topology, PEs: mi.PEs, Workers: mi.Workers, Session: id,
+		})
 		lat := time.Since(started)
 		s.met.Observe("sessions.update", status, lat)
 		if status == http.StatusOK {
@@ -374,8 +390,10 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req api.SessionUpdateRequest
-	if st, code, err := decodeSession(w, r, s.cfg.MaxBody, &req, func() int { return req.V }); st != 0 {
-		fail(st, code, err)
+	body, st, code, derr := decodeSession(w, r, s.cfg.MaxBody, &req, func() int { return req.V })
+	raw = body
+	if st != 0 {
+		fail(st, code, derr)
 		return
 	}
 	nd = len(req.Deltas)
@@ -418,6 +436,7 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		fail(st, code, err)
 		return
 	}
+	mi = resp.Session.Machine
 	status, out = http.StatusOK, resp
 }
 
@@ -434,9 +453,12 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	var (
 		status int
 		out    any
+		mi     api.MachineInfo
 	)
 	defer func() {
-		writeJSON(w, status, out)
+		s.finish(w, r, status, out, nil, api.ReplayMeta{
+			Topology: mi.Topology, PEs: mi.PEs, Workers: mi.Workers, Session: id,
+		})
 		lat := time.Since(started)
 		s.met.Observe("sessions.query", status, lat)
 		s.sessionLog(r.Context(), "query", id, status, lat, slog.Bool("verify", verify))
@@ -478,6 +500,7 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 		fail(st, code, err)
 		return
 	}
+	mi = resp.Session.Machine
 	status, out = http.StatusOK, resp
 }
 
@@ -493,7 +516,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		out    any
 	)
 	defer func() {
-		writeJSON(w, status, out)
+		s.finish(w, r, status, out, nil, api.ReplayMeta{Session: id})
 		lat := time.Since(started)
 		s.met.Observe("sessions.delete", status, lat)
 		s.sessionLog(r.Context(), "delete", id, status, lat)

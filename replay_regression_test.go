@@ -1,0 +1,322 @@
+// Replay-driven regression battery for the hash-chained computation log
+// (internal/replaylog): record a mixed trace — every one-shot /v1/*
+// endpoint, a stateful session with batch updates, a fault-injected
+// request, and the request-rejection paths — through a recording server,
+// then replay it against a fresh server and demand byte-identical
+// responses, on mesh and hypercube machines, serial and with a worker
+// pool. The tamper subtests flip a single byte mid-log and demand
+// VerifyChain reports the exact record.
+//
+// TestReplaySeedCorpus replays the committed traces under
+// testdata/replay/ — captured smoke-test sessions that pin the serving
+// surface end to end: any change to response bytes, result values, or
+// simulated-cost accounting shows up as a divergence here.
+package dyncg_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dyncg"
+	"dyncg/internal/api"
+	"dyncg/internal/motion"
+	"dyncg/internal/replaylog"
+	"dyncg/internal/server"
+)
+
+func wireSys(sys *motion.System) [][][]float64 {
+	out := make([][][]float64, len(sys.Points))
+	for i, p := range sys.Points {
+		coords := make([][]float64, len(p.Coord))
+		for j, c := range p.Coord {
+			coords[j] = append([]float64(nil), c...)
+		}
+		out[i] = coords
+	}
+	return out
+}
+
+// send drives one request through the recording handler.
+func send(t *testing.T, h http.Handler, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	var r *httptest.ResponseRecorder
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	r = httptest.NewRecorder()
+	h.ServeHTTP(r, req)
+	return r.Code, r.Body.Bytes()
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, v any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	return send(t, h, http.MethodPost, path, body)
+}
+
+// oneShotRequests is one valid request per one-shot serving endpoint.
+func oneShotRequests(tp string, workers int) map[string]api.Request {
+	planar := motion.Random(rand.New(rand.NewSource(11)), 8, 1, 2, 10)
+	colliding := motion.Converging(rand.New(rand.NewSource(12)), 8)
+	diverging := motion.Diverging(rand.New(rand.NewSource(13)), 8)
+	small := motion.Random(rand.New(rand.NewSource(14)), 6, 1, 2, 10)
+	opts := api.Options{Topology: tp, Workers: workers}
+	req := func(sys *motion.System, mod func(*api.Request)) api.Request {
+		r := api.Request{V: api.Version, System: wireSys(sys), Options: opts}
+		if mod != nil {
+			mod(&r)
+		}
+		return r
+	}
+	return map[string]api.Request{
+		"closest-point-sequence":  req(planar, func(r *api.Request) { r.Origin = 1 }),
+		"farthest-point-sequence": req(planar, func(r *api.Request) { r.Origin = 2 }),
+		"collision-times":         req(colliding, nil),
+		"hull-vertex-intervals":   req(planar, func(r *api.Request) { r.Origin = 0 }),
+		"containment-intervals":   req(planar, func(r *api.Request) { r.Dims = []float64{40, 40} }),
+		"smallest-hypercube-edge": req(planar, nil),
+		"smallest-ever-hypercube": req(planar, nil),
+		"steady-nearest-neighbor": req(planar, func(r *api.Request) { r.Origin = 3 }),
+		"steady-closest-pair":     req(planar, nil),
+		"steady-hull":             req(diverging, nil),
+		"steady-farthest-pair":    req(diverging, nil),
+		"steady-min-area-rect":    req(diverging, nil),
+		"closest-pair-sequence":   req(small, nil),
+		"farthest-pair-sequence":  req(small, nil),
+	}
+}
+
+// recordMixedTrace drives the full mixed trace through h. Sequential on
+// purpose: arrival order is the log's replay order.
+func recordMixedTrace(t *testing.T, h http.Handler, tp string, workers int) {
+	t.Helper()
+	for name, req := range oneShotRequests(tp, workers) {
+		st, body := postJSON(t, h, "/v1/"+name, req)
+		if st != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", name, st, body)
+		}
+	}
+
+	// A fault-injected run: seeded schedule, recovery harness, pool
+	// bypassed. Replay re-derives the same schedule from the seed.
+	faulted := api.Request{
+		V:      api.Version,
+		System: wireSys(motion.Random(rand.New(rand.NewSource(15)), 8, 1, 2, 10)),
+		Options: api.Options{
+			Topology: tp, Workers: workers,
+			Faults: "transient=0.05,retries=8", FaultSeed: 42,
+		},
+	}
+	if st, body := postJSON(t, h, "/v1/steady-hull", faulted); st != http.StatusOK {
+		t.Fatalf("faulted steady-hull: status %d, body %s", st, body)
+	}
+
+	// The rejection paths are part of the recorded surface too.
+	if st, _ := send(t, h, http.MethodPost, "/v1/no-such-algorithm", []byte(`{"v":1}`)); st != http.StatusNotFound {
+		t.Fatalf("unknown algorithm: status %d", st)
+	}
+	if st, _ := send(t, h, http.MethodPost, "/v1/steady-hull", []byte(`{"v":1,`)); st != http.StatusBadRequest {
+		t.Fatalf("invalid body: status %d", st)
+	}
+
+	// A stateful session: create, batch updates, plain and verified
+	// query, delete. The session ID is minted randomly per recording —
+	// the one byte sequence replay must map rather than match.
+	sys := motion.Random(rand.New(rand.NewSource(16)), 6, 1, 2, 10)
+	create := api.SessionCreateRequest{
+		V: api.Version, Algorithm: "closest-point-sequence",
+		System: wireSys(sys), Origin: 0,
+		Options: api.SessionOptions{Topology: tp, Workers: workers},
+	}
+	st, body := postJSON(t, h, "/v1/sessions", create)
+	if st != http.StatusOK {
+		t.Fatalf("session create: status %d, body %s", st, body)
+	}
+	var created api.SessionCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("decoding session create: %v (%s)", err, body)
+	}
+	sid := created.Session.ID
+
+	updates := []api.SessionUpdateRequest{
+		{V: api.Version, Deltas: []api.SessionDelta{
+			{Op: "insert", Point: [][]float64{{3, 1}, {4, -1}}},
+			{Op: "insert", Point: [][]float64{{-2, 2}, {5, 0}}},
+		}},
+		{V: api.Version, Deltas: []api.SessionDelta{
+			{Op: "retarget", ID: 1, Point: [][]float64{{8, -2}, {1, 1}}},
+			{Op: "delete", ID: 2},
+		}},
+	}
+	for i, up := range updates {
+		if st, body := postJSON(t, h, "/v1/sessions/"+sid+"/update", up); st != http.StatusOK {
+			t.Fatalf("session update %d: status %d, body %s", i, st, body)
+		}
+	}
+	if st, body := send(t, h, http.MethodGet, "/v1/sessions/"+sid+"/query", nil); st != http.StatusOK {
+		t.Fatalf("session query: status %d, body %s", st, body)
+	}
+	if st, body := send(t, h, http.MethodGet, "/v1/sessions/"+sid+"/query?verify=1", nil); st != http.StatusOK {
+		t.Fatalf("session verify query: status %d, body %s", st, body)
+	}
+	if st, body := send(t, h, http.MethodDelete, "/v1/sessions/"+sid, nil); st != http.StatusOK {
+		t.Fatalf("session delete: status %d, body %s", st, body)
+	}
+	// Addressing the deleted session records a 404 — replayed verbatim.
+	if st, _ := send(t, h, http.MethodGet, "/v1/sessions/"+sid+"/query", nil); st != http.StatusNotFound {
+		t.Fatalf("query after delete: status %d", st)
+	}
+}
+
+// TestReplayRegression is the battery: record, verify, replay, compare.
+func TestReplayRegression(t *testing.T) {
+	for _, tp := range []string{"mesh", "hypercube"} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tp, workers), func(t *testing.T) {
+				dir := t.TempDir()
+				// A tiny rotation threshold forces multi-segment logs, so
+				// replay and verification cross anchor boundaries.
+				rlog, err := replaylog.Open(dir, replaylog.WithMaxSegment(8<<10))
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				rec := server.New(server.Config{ReplayLog: rlog})
+				recordMixedTrace(t, rec.Handler(), tp, workers)
+				if err := rlog.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				segs, err := replaylog.Segments(dir)
+				if err != nil || len(segs) < 2 {
+					t.Fatalf("want a rotated multi-segment log, got %d segments (%v)", len(segs), err)
+				}
+
+				n, err := dyncg.VerifyReplayLog(dir)
+				if err != nil {
+					t.Fatalf("VerifyReplayLog: %v", err)
+				}
+				if n == 0 {
+					t.Fatal("VerifyReplayLog verified no records")
+				}
+
+				rep, err := dyncg.Replay(dir)
+				if err != nil {
+					t.Fatalf("Replay: %v", err)
+				}
+				if rep.Diverged != nil {
+					t.Fatalf("replay diverged: %s", rep.Diverged)
+				}
+				// 14 endpoints + faulted + 2 rejections + create +
+				// 2 updates + 2 queries + delete + post-delete 404.
+				if want := 24; rep.Replayed != want {
+					t.Fatalf("replayed %d requests, want %d (report %+v)", rep.Replayed, want, rep)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayTamperDetection flips one byte mid-log and demands the
+// verifier name the exact record, and the replay facade refuse the log.
+func TestReplayTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	rlog, err := replaylog.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := server.New(server.Config{ReplayLog: rlog})
+	for name, req := range oneShotRequests("hypercube", 1) {
+		if st, body := postJSON(t, rec.Handler(), "/v1/"+name, req); st != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", name, st, body)
+		}
+	}
+	if err := rlog.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := dyncg.VerifyReplayLog(dir); err != nil {
+		t.Fatalf("pristine log failed verification: %v", err)
+	}
+
+	segs, err := replaylog.Segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("Segments: %v (%d)", err, len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	const target = 7 // a record in the middle of the log
+	mid := len(lines[target]) / 2
+	tampered := append([]byte(nil), data...)
+	off := 0
+	for i := 0; i < target; i++ {
+		off += len(lines[i])
+	}
+	tampered[off+mid] ^= 0x01
+	if err := os.WriteFile(segs[0], tampered, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	n, err := dyncg.VerifyReplayLog(dir)
+	if err == nil {
+		t.Fatal("VerifyReplayLog passed a tampered log")
+	}
+	var te *dyncg.ReplayTamperError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T, want *ReplayTamperError: %v", err, err)
+	}
+	if te.Seq != target {
+		t.Fatalf("TamperError.Seq = %d, want %d", te.Seq, target)
+	}
+	if n != target {
+		t.Fatalf("verified %d records before the tamper, want %d", n, target)
+	}
+	if _, err := dyncg.Replay(dir); err == nil {
+		t.Fatal("Replay accepted a tampered log")
+	}
+}
+
+// TestReplaySeedCorpus replays every committed trace under
+// testdata/replay/ — the captured smoke-test sessions that pin the
+// serving surface's exact response bytes across commits.
+func TestReplaySeedCorpus(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "replay", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []string
+	for _, d := range dirs {
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			traces = append(traces, d)
+		}
+	}
+	if len(traces) == 0 {
+		t.Fatal("no seed traces under testdata/replay — regenerate with scripts/server_smoke.sh")
+	}
+	for _, dir := range traces {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			if _, err := dyncg.VerifyReplayLog(dir); err != nil {
+				t.Fatalf("VerifyReplayLog: %v", err)
+			}
+			rep, err := dyncg.Replay(dir)
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			if rep.Diverged != nil {
+				t.Fatalf("replay diverged from the committed trace: %s", rep.Diverged)
+			}
+			if rep.Replayed == 0 {
+				t.Fatal("seed trace replayed no requests")
+			}
+		})
+	}
+}

@@ -12,7 +12,9 @@
 # algorithm, encode) on a warm and a cold pool — plus
 # BenchmarkSessionUpdate in the root package: one session delta batch
 # (1/16/64 retargets) against the retained merge tree vs a full rebuild
-# on the same machine. The iteration count is
+# on the same machine — plus BenchmarkReplayLogAppend in
+# internal/replaylog: the computation-log hook, gated at 0 allocs/op
+# when recording is disabled. The iteration count is
 # pinned (-benchtime 100x) so allocs/op is deterministic and comparable
 # across hosts; cmd/benchgate documents the per-metric gate tolerances
 # (allocs/op tight, B/op medium, ns/op catastrophic-only — shared runners
@@ -27,8 +29,8 @@ mode=${1:-refresh}
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession' -benchtime $benchtime -benchmem"
-go test -run '^$' -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession' -benchtime "$benchtime" -benchmem . ./internal/server | tee "$out"
+echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession|BenchmarkReplay' -benchtime $benchtime -benchmem"
+go test -run '^$' -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession|BenchmarkReplay' -benchtime "$benchtime" -benchmem . ./internal/server ./internal/replaylog | tee "$out"
 
 case "$mode" in
 -check)

@@ -9,6 +9,13 @@
 # (create → update → query → delete, cross-checked against a direct
 # facade session by examples/client -session), /metrics, and finally a
 # SIGTERM drain that must exit cleanly within the grace period.
+#
+# The daemon runs with -log-dir, so the whole driven surface lands in a
+# hash-chained computation log; after the drain, `dyncgd replay`
+# verifies the chain and re-executes the captured trace against a fresh
+# server, failing on the first response that is not byte-identical.
+# Set DYNCGD_SEED_OUT=testdata/replay/smoke to refresh the committed
+# seed trace that TestReplaySeedCorpus replays on every CI run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,9 +26,10 @@ base="http://$addr"
 echo "==> go build ./cmd/dyncgd"
 go build -o /tmp/dyncgd.smoke ./cmd/dyncgd
 
-/tmp/dyncgd.smoke -addr "$addr" -log text 2>/tmp/dyncgd.smoke.log &
+logdir=$(mktemp -d /tmp/dyncgd.replaylog.XXXXXX)
+/tmp/dyncgd.smoke -addr "$addr" -log text -log-dir "$logdir" 2>/tmp/dyncgd.smoke.log &
 pid=$!
-trap 'kill "$pid" 2>/dev/null || true; rm -f /tmp/dyncgd.smoke' EXIT
+trap 'kill "$pid" 2>/dev/null || true; rm -f /tmp/dyncgd.smoke; rm -rf "$logdir"' EXIT
 
 # Wait for the listener (the daemon is up within milliseconds; CI
 # runners get a generous 5s).
@@ -111,6 +119,7 @@ r=$(curl -fsS "$base/metrics")
 expect "metrics" 'dyncgd_requests_total' "$r"
 expect "metrics pool" 'dyncgd_pool_checkouts_total{result="hit"}' "$r"
 expect "metrics sessions" 'dyncg_session_updates_total' "$r"
+expect "metrics replaylog" 'dyncg_replaylog_records_total' "$r"
 
 # Graceful drain: SIGTERM must flip health to 503 and exit 0.
 kill -TERM "$pid"
@@ -122,4 +131,20 @@ if [ "$rc" -ne 0 ]; then
     exit 1
 fi
 echo "==> graceful drain OK"
+
+# Deterministic replay: verify the hash chain and re-execute the whole
+# captured trace against a fresh in-process server — every response must
+# come back byte-identical.
+/tmp/dyncgd.smoke replay -log-dir "$logdir"
+echo "==> deterministic replay OK"
+
+# Optionally refresh the committed seed trace (TestReplaySeedCorpus
+# replays it on every CI run).
+if [ -n "${DYNCGD_SEED_OUT:-}" ]; then
+    rm -rf "$DYNCGD_SEED_OUT"
+    mkdir -p "$DYNCGD_SEED_OUT"
+    cp "$logdir"/replay-*.log "$DYNCGD_SEED_OUT"/
+    echo "==> seed trace written to $DYNCGD_SEED_OUT"
+fi
+
 echo "server_smoke: OK"
