@@ -137,6 +137,99 @@ func perfDest(n int) []int {
 	return d
 }
 
+// BenchmarkPerfLargeN pins the scale rows of the columnar core: cheap
+// data-movement primitives at n = 64k, 256k and 1M PEs, the regime the
+// struct-of-arrays refactor targets. Dense rows run scan — the canonical
+// flat-loop round body — through the public facade (split, columnar
+// rounds, join); the par8 row exercises internal/par sharding of the
+// same rounds; sparse rows run the active-set primitives at 1%
+// occupancy, whose host work is O(occupied), not O(n). All rows run
+// steady-state on a warm machine; the single-worker rows must hold
+// 0 allocs/op (the par8 row pays a fixed, deterministic goroutine
+// fan-out per round). scripts/bench.sh runs this function at its own
+// pinned iteration count (BENCH_TIME_LARGE) so the 1M rows stay inside
+// the bench-smoke wall-clock budget.
+func BenchmarkPerfLargeN(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
+		b.Run(fmt.Sprintf("scan/hypercube/n=%d", n), func(b *testing.B) {
+			m := machine.New(hypercube.MustNew(n))
+			regs := machine.Scatter(n, perfVals(n))
+			seg := machine.WholeMachine(n)
+			machine.Scan(m, regs, seg, machine.Forward, minInt)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				machine.Scan(m, regs, seg, machine.Forward, minInt)
+			}
+		})
+	}
+	const big = 1 << 20
+	b.Run(fmt.Sprintf("scan/mesh/n=%d", big), func(b *testing.B) {
+		m := machine.New(mesh.MustNew(big, mesh.Proximity))
+		regs := machine.Scatter(big, perfVals(big))
+		seg := machine.WholeMachine(big)
+		machine.Scan(m, regs, seg, machine.Forward, minInt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			machine.Scan(m, regs, seg, machine.Forward, minInt)
+		}
+	})
+	b.Run(fmt.Sprintf("scan/hypercube-par8/n=%d", big), func(b *testing.B) {
+		m := machine.New(hypercube.MustNew(big), machine.WithParallel(8))
+		regs := machine.Scatter(big, perfVals(big))
+		seg := machine.WholeMachine(big)
+		machine.Scan(m, regs, seg, machine.Forward, minInt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			machine.Scan(m, regs, seg, machine.Forward, minInt)
+		}
+	})
+	b.Run(fmt.Sprintf("semigroup/hypercube/n=%d", big), func(b *testing.B) {
+		m := machine.New(hypercube.MustNew(big))
+		regs := machine.Scatter(big, perfVals(big))
+		seg := machine.WholeMachine(big)
+		machine.Semigroup(m, regs, seg, minInt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			machine.Semigroup(m, regs, seg, minInt)
+		}
+	})
+	// Active-set rows: 1% occupancy. Both workloads are idempotent after
+	// the first call (compact leaves the occupied prefix in place; sort
+	// leaves the values ordered), so the loop measures steady state.
+	sparseSetup := func() *machine.Sparse[int] {
+		s := machine.NewSparse[int](big)
+		vals := perfVals(big / 100)
+		for i, v := range vals {
+			s.Set(i*100, v)
+		}
+		return s
+	}
+	b.Run(fmt.Sprintf("sparse-compact/hypercube/n=%d", big), func(b *testing.B) {
+		m := machine.New(hypercube.MustNew(big))
+		s := sparseSetup()
+		machine.SparseCompact(m, s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			machine.SparseCompact(m, s)
+		}
+	})
+	b.Run(fmt.Sprintf("sparse-sort/hypercube/n=%d", big), func(b *testing.B) {
+		m := machine.New(hypercube.MustNew(big))
+		s := sparseSetup()
+		machine.SparseSort(m, s, func(a, b int) bool { return a < b })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			machine.SparseSort(m, s, func(a, b int) bool { return a < b })
+		}
+	})
+}
+
 // BenchmarkPerfEndToEnd pins two composite workloads — the whole-machine
 // grouping pattern of Table 1 (sort + segmented scan + sort) — whose
 // allocation behaviour exercises the arena across primitive boundaries.

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -117,7 +118,7 @@ func main() {
 // parse extracts Benchmark lines from `go test -bench` output. The
 // trailing -N GOMAXPROCS suffix is stripped so baselines compare across
 // machines with different core counts.
-func parse(f *os.File) ([]Result, error) {
+func parse(f io.Reader) ([]Result, error) {
 	var out []Result
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {

@@ -43,7 +43,7 @@ import (
 
 var (
 	algo      = flag.String("algo", "closest", "algorithm: closest|farthest|collisions|hullmember|containment|cube-edge|smallest-cube|steady-nn|steady-cp|steady-hull|steady-farthest|steady-rect")
-	n         = flag.Int("n", 16, "number of moving points")
+	n         = flag.Int("n", 16, "number of moving points; the columnar core scales past machines of 1<<20 PEs (see README, Scale)")
 	k         = flag.Int("k", 1, "motion degree bound")
 	d         = flag.Int("d", 2, "dimension (planar algorithms need 2)")
 	topoName  = flag.String("topo", "hypercube", "machine topology: mesh|hypercube|ccc|shuffle")

@@ -63,6 +63,7 @@ import (
 var (
 	addr         = flag.String("addr", ":8080", "listen address")
 	poolCap      = flag.Int("pool-cap", 32, "max idle machines retained across size classes (negative disables pooling)")
+	poolMaxPEs   = flag.Int("pool-max-pes", 0, "max total PEs across idle pooled machines, the memory bound at large n (0 = 2^22, negative = unbounded)")
 	maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
 	maxQueue     = flag.Int("queue", 0, "max requests waiting for an execution slot (0 = 4x max-inflight)")
 	deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline, queueing included")
@@ -107,6 +108,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		PoolCap:        *poolCap,
+		PoolMaxPEs:     *poolMaxPEs,
 		MaxInFlight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		Deadline:       *deadline,

@@ -157,20 +157,23 @@ func packLists[T any](m *machine.M, lists [][]T) []machine.Reg[T] {
 		defer m.SpanEnd()
 	}
 	n := len(lists)
-	counts := make([]machine.Reg[int], n)
+	// counts is self-contained scratch: run the rank prefix natively on
+	// the columnar layout.
+	counts := machine.GetCols[int](m, n)
+	defer machine.PutCols(m, counts)
 	m.ChargeLocal(1)
 	maxLen := 0
-	for i := range counts {
-		counts[i] = machine.Some(len(lists[i]))
+	for i := 0; i < n; i++ {
+		counts.Set(i, len(lists[i]))
 		if len(lists[i]) > maxLen {
 			maxLen = len(lists[i])
 		}
 	}
-	machine.Scan(m, counts, machine.WholeMachine(n), machine.Forward,
+	machine.ScanCols(m, counts, machine.WholeMachine(n), machine.Forward,
 		func(a, b int) int { return a + b })
 	regs := make([]machine.Reg[T], n)
 	for i := range lists {
-		base := counts[i].V - len(lists[i])
+		base := counts.Val[i] - len(lists[i])
 		for j, v := range lists[i] {
 			regs[base+j] = machine.Some(v)
 		}
@@ -180,7 +183,7 @@ func packLists[T any](m *machine.M, lists [][]T) []machine.Reg[T] {
 		for i := range lists {
 			if j < len(lists[i]) {
 				src = append(src, i)
-				dst = append(dst, counts[i].V-len(lists[i])+j)
+				dst = append(dst, counts.Val[i]-len(lists[i])+j)
 			}
 		}
 		m.ChargeRoute(src, dst)

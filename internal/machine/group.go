@@ -31,14 +31,17 @@ func Group[T any](m *M, data, queries []T, less func(a, b T) bool) []int {
 		query bool
 		idx   int
 	}
-	regs := GetScratch[Reg[entry]](m, n)
+	// Native columnar register file: Group runs its whole pipeline over
+	// the struct-of-arrays layout, skipping the record split/join of the
+	// []Reg wrappers.
+	f := GetCols[entry](m, n)
 	for i, v := range data {
-		regs[i] = Some(entry{v: v, idx: i})
+		f.Set(i, entry{v: v, idx: i})
 	}
 	for q, v := range queries {
-		regs[len(data)+q] = Some(entry{v: v, query: true, idx: q})
+		f.Set(len(data)+q, entry{v: v, query: true, idx: q})
 	}
-	Sort(m, regs, func(a, b entry) bool {
+	SortCols(m, f, func(a, b entry) bool {
 		if less(a.v, b.v) {
 			return true
 		}
@@ -51,30 +54,30 @@ func Group[T any](m *M, data, queries []T, less func(a, b T) bool) []int {
 		return a.idx < b.idx
 	})
 	// Parallel prefix: carry the most recent data index.
-	carry := GetScratch[Reg[int]](m, n)
+	carry := GetCols[int](m, n)
 	m.ChargeLocal(1)
-	for i := range regs {
-		if regs[i].Ok && !regs[i].V.query {
-			carry[i] = Some(regs[i].V.idx)
+	for i := 0; i < n; i++ {
+		if f.Occ[i] && !f.Val[i].query {
+			carry.Set(i, f.Val[i].idx)
 		}
 	}
 	seg := GetScratch[bool](m, n)
 	if n > 0 {
 		seg[0] = true
 	}
-	Scan(m, carry, seg, Forward, func(a, b int) int { return b })
+	ScanCols(m, carry, seg, Forward, func(a, b int) int { return b })
 	PutScratch(m, seg)
 	m.ChargeLocal(1)
 	pred := make([]int, len(queries))
 	for i := range pred {
 		pred[i] = -1
 	}
-	for i := range regs {
-		if regs[i].Ok && regs[i].V.query && carry[i].Ok {
-			pred[regs[i].V.idx] = carry[i].V
+	for i := 0; i < n; i++ {
+		if f.Occ[i] && f.Val[i].query && carry.Occ[i] {
+			pred[f.Val[i].idx] = carry.Val[i]
 		}
 	}
-	PutScratch(m, carry)
-	PutScratch(m, regs)
+	PutCols(m, carry)
+	PutCols(m, f)
 	return pred
 }

@@ -1,28 +1,34 @@
 package machine
 
-// This file implements the fundamental data movement operations of §2.6
-// (Table 1) as generic primitives over register files. A register file is
-// a slice with one entry per PE; Reg.Ok distinguishes PEs that hold a data
-// item from empty PEs (the paper allows strings with fewer items than
-// PEs). Segments ("strings of processors", §2.2/§2.3) are described by a
+// This file is the record-layout ([]Reg[T]) surface of the fundamental
+// data movement operations of §2.6 (Table 1). A register file is a slice
+// with one entry per PE; Reg.Ok distinguishes PEs that hold a data item
+// from empty PEs (the paper allows strings with fewer items than PEs).
+// Segments ("strings of processors", §2.2/§2.3) are described by a
 // boolean segment-start mask; all segmented operations run in every
-// string simultaneously, as the paper requires ("there are multiple
-// strings in which the operations are to be performed in parallel").
+// string simultaneously, as the paper requires.
 //
-// Allocation discipline: every primitive draws its O(n) scratch from the
-// machine's arena (arena.go) and releases it before returning, and each
-// per-PE round body is a named function — not a closure — invoked
-// directly on the serial path and wrapped in a closure only when the
-// worker-pool backend (WithParallel) shards it. A warm machine therefore
-// runs Scan/Spread/Semigroup/Sort/Compact/Route/ShiftWithin without
-// touching the heap at all (asserted by alloc_test.go, measured by
-// bench_perf_test.go).
+// Since the columnar refactor the implementations live in colops.go:
+// each primitive here splits its register file into a struct-of-arrays
+// colstore.File drawn from the machine's arena, runs the columnar
+// primitive, and joins the columns back — including the stale values of
+// empty registers, which the old record implementation propagated
+// byte-for-byte through swaps and copies and which callers may observe.
+// The split/join bridges are charge-free host work, so spans, Stats, and
+// the observer round stream are identical to both the columnar entry
+// points and the pre-refactor record implementation (pinned by the
+// columnardiff battery in the repository root).
+//
+// Allocation discipline is unchanged: every primitive draws its O(n)
+// scratch from the machine's arena (arena.go) and releases it before
+// returning, and each per-PE round body is a named function — not a
+// closure — invoked directly on the serial path and wrapped in a closure
+// only when the worker-pool backend (WithParallel) shards it. A warm
+// machine runs Scan/Spread/Semigroup/Sort/Compact/Route/ShiftWithin
+// without touching the heap at all (asserted by alloc_test.go, measured
+// by bench_perf_test.go).
 
-import (
-	"strconv"
-
-	"dyncg/internal/par"
-)
+import "strconv"
 
 // pspan opens a primitive-level span on the attached observer (nil-check
 // fast path: zero work when tracing is off). Callers must invoke the
@@ -41,7 +47,7 @@ func closeSpan(end func()) {
 	}
 }
 
-// addInt is the shard-count combiner of every par.Reduce below.
+// addInt is the shard-count combiner of every par.Reduce in colops.go.
 func addInt(a, b int) int { return a + b }
 
 // Reg is one PE's register: a value and a validity flag.
@@ -75,8 +81,6 @@ func BlockSegments(n, block int) []bool {
 	return seg
 }
 
-// --- Parallel prefix (segmented scan) -------------------------------------
-
 // ScanDir selects the scan direction.
 type ScanDir int
 
@@ -85,29 +89,6 @@ const (
 	Forward  ScanDir = iota // prefixes p_i = x_1 ∗ … ∗ x_i  (§2.6)
 	Backward                // suffixes
 )
-
-// scanRound is the per-PE body of one doubling round of Scan: PE i reads
-// only regs/fl (stable within the round) and writes only next[i] /
-// nextFl[i], so shards are disjoint.
-func scanRound[T any](regs, next []Reg[T], fl, nextFl []bool, off int, dir ScanDir, op func(a, b T) T, lo, hi int) int {
-	n := len(regs)
-	msgs := 0
-	for i := lo; i < hi; i++ {
-		var j int
-		if dir == Forward {
-			j = i - off
-		} else {
-			j = i + off
-		}
-		if j < 0 || j >= n || fl[i] {
-			continue
-		}
-		msgs++
-		next[i] = combine(regs[j], regs[i], dir, op)
-		nextFl[i] = fl[i] || fl[j]
-	}
-	return msgs
-}
 
 // Scan performs a segmented inclusive scan with the associative operation
 // op, in Θ(√n) mesh / Θ(log n) hypercube time (Table 1: parallel prefix).
@@ -122,81 +103,10 @@ func scanRound[T any](regs, next []Reg[T], fl, nextFl []bool, off int, dir ScanD
 // inside generic functions carry the instantiation dictionary and hence
 // heap-allocate per call, the only remaining allocation on these paths.
 func Scan[T any](m *M, regs []Reg[T], segStart []bool, dir ScanDir, op func(a, b T) T) {
-	defer closeSpan(pspan(m, "prefix", len(regs)))
-	n := len(regs)
-	fl := GetScratch[bool](m, n)
-	if dir == Forward {
-		copy(fl, segStart)
-	} else {
-		for i := 0; i < n; i++ {
-			fl[i] = i+1 >= n || segStart[i+1]
-		}
-	}
-	// The scan needs offsets up to the longest segment only: segmented
-	// scans within blocks of size B cost Θ(√B) mesh / Θ(log B) hypercube,
-	// which is what keeps Theorem 3.2's level costs geometric.
-	maxSeg, run := 0, 0
-	for i := 0; i < n; i++ {
-		if segStart[i] {
-			run = 0
-		}
-		run++
-		if run > maxSeg {
-			maxSeg = run
-		}
-	}
-	if maxSeg > 1 {
-		next := GetScratch[Reg[T]](m, n)
-		nextFl := GetScratch[bool](m, n)
-		for off := 1; off < maxSeg; off <<= 1 {
-			copy(next, regs)
-			copy(nextFl, fl)
-			var msgs int
-			if m.workers > 1 {
-				off := off
-				msgs = par.Reduce(m.workers, n, 0, func(lo, hi int) int {
-					return scanRound(regs, next, fl, nextFl, off, dir, op, lo, hi)
-				}, addInt)
-			} else {
-				msgs = scanRound(regs, next, fl, nextFl, off, dir, op, 0, n)
-			}
-			copy(regs, next)
-			copy(fl, nextFl)
-			m.chargeShift(off, msgs)
-		}
-		PutScratch(m, nextFl)
-		PutScratch(m, next)
-	}
-	PutScratch(m, fl)
-}
-
-// combine merges a neighbour's partial result with the local one,
-// treating empty registers as identity.
-func combine[T any](neigh, local Reg[T], dir ScanDir, op func(a, b T) T) Reg[T] {
-	switch {
-	case !neigh.Ok:
-		return local
-	case !local.Ok:
-		return neigh
-	case op == nil: // flood mode: occupied neighbour wins
-		return neigh
-	case dir == Forward:
-		return Some(op(neigh.V, local.V))
-	default:
-		return Some(op(local.V, neigh.V))
-	}
-}
-
-// --- Broadcast -------------------------------------------------------------
-
-// spreadFix resolves the two flood directions of Spread: prefer the
-// forward (leftward) source where both exist. PE i writes only regs[i].
-func spreadFix[T any](regs, fwd []Reg[T], lo, hi int) {
-	for i := lo; i < hi; i++ {
-		if fwd[i].Ok {
-			regs[i] = fwd[i]
-		}
-	}
+	f := splitRegs(m, regs)
+	ScanCols(m, f, segStart, dir, op)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // Spread gives every PE the value of the nearest occupied register within
@@ -204,113 +114,20 @@ func spreadFix[T any](regs, fwd []Reg[T], lo, hi int) {
 // marked item per string this is the broadcast operation of §2.6, costing
 // Θ(√n) mesh / Θ(log n) hypercube time.
 func Spread[T any](m *M, regs []Reg[T], segStart []bool) {
-	defer closeSpan(pspan(m, "broadcast", len(regs)))
-	n := len(regs)
-	fwd := GetScratch[Reg[T]](m, n)
-	copy(fwd, regs)
-	Scan(m, fwd, segStart, Forward, nil)
-	Scan(m, regs, segStart, Backward, nil)
-	// Any PE left empty by both passes has no occupied register in its
-	// segment.
-	m.ChargeLocal(1)
-	if m.workers > 1 {
-		par.ForEach(m.workers, n, func(lo, hi int) {
-			spreadFix(regs, fwd, lo, hi)
-		})
-	} else {
-		spreadFix(regs, fwd, 0, n)
-	}
-	PutScratch(m, fwd)
-}
-
-// markLast marks each segment's last PE with its register value. PE i
-// writes only marked[i].
-func markLast[T any](marked, regs []Reg[T], segStart []bool, lo, hi int) {
-	n := len(regs)
-	for i := lo; i < hi; i++ {
-		if i+1 >= n || segStart[i+1] {
-			marked[i] = regs[i]
-		}
-	}
+	f := splitRegs(m, regs)
+	SpreadCols(m, f, segStart)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // Semigroup applies the associative operation to all items of each
 // segment and delivers the result to every PE of the segment (§2.6:
 // semigroup computation — min, max, sum, …).
 func Semigroup[T any](m *M, regs []Reg[T], segStart []bool, op func(a, b T) T) {
-	defer closeSpan(pspan(m, "semigroup", len(regs)))
-	Scan(m, regs, segStart, Forward, op)
-	// Totals now sit at each segment's last occupied PE; flood them back.
-	n := len(regs)
-	m.ChargeLocal(1)
-	marked := GetScratch[Reg[T]](m, n)
-	if m.workers > 1 {
-		par.ForEach(m.workers, n, func(lo, hi int) {
-			markLast(marked, regs, segStart, lo, hi)
-		})
-	} else {
-		markLast(marked, regs, segStart, 0, n)
-	}
-	Scan(m, marked, segStart, Backward, nil)
-	copy(regs, marked)
-	PutScratch(m, marked)
-}
-
-// --- Bitonic merge and sort ------------------------------------------------
-
-// ceRound is the per-PE body of one compare-exchange round. Each index
-// belongs to exactly one pair (i, i ⊕ mask) and the pair is handled only
-// from its smaller index, so writes are disjoint across shards even when
-// a pair straddles a shard boundary.
-func ceRound[T any](regs []Reg[T], mask, block int, less func(a, b T) bool, lo, hi int) int {
-	n := len(regs)
-	msgs := 0
-	for i := lo; i < hi; i++ {
-		j := i ^ mask
-		if j <= i || j >= n || i/block != j/block {
-			continue
-		}
-		msgs += 2
-		if regLess(regs[j], regs[i], less) {
-			regs[i], regs[j] = regs[j], regs[i]
-		}
-	}
-	return msgs
-}
-
-// compareExchange performs one lock-step compare-exchange round: every
-// PE pair (i, j = i ⊕ mask) within an aligned block orders its two items
-// so the smaller lands on the smaller index. Empty registers sort after
-// occupied ones.
-func compareExchange[T any](m *M, regs []Reg[T], mask, block int, less func(a, b T) bool) {
-	n := len(regs)
-	var msgs int
-	if m.workers > 1 {
-		msgs = par.Reduce(m.workers, n, 0, func(lo, hi int) int {
-			return ceRound(regs, mask, block, less, lo, hi)
-		}, addInt)
-	} else {
-		msgs = ceRound(regs, mask, block, less, 0, n)
-	}
-	// Charge by the highest bit of the mask: the partner distance of a
-	// multi-bit mask is bounded by (and realised at) its top bit under
-	// both topologies' locality properties.
-	b := 0
-	for 1<<(b+1) <= mask {
-		b++
-	}
-	m.chargeXOR(b, msgs)
-}
-
-func regLess[T any](a, b Reg[T], less func(x, y T) bool) bool {
-	switch {
-	case a.Ok && !b.Ok:
-		return true
-	case !a.Ok:
-		return false
-	default:
-		return less(a.V, b.V)
-	}
+	f := splitRegs(m, regs)
+	SemigroupCols(m, f, segStart, op)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // MergeBlocks merges, within every aligned block of the given size, the
@@ -321,14 +138,10 @@ func MergeBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) 
 	if block < 2 {
 		return
 	}
-	defer closeSpan(pspan(m, "merge", block))
-	// First stage: compare i with its mirror in the block (i ⊕ (block−1)),
-	// which turns ascending+ascending into two half-blocks each bitonic
-	// and correctly split; the remaining stages are half-cleaners.
-	compareExchange(m, regs, block-1, block, less)
-	for mask := block / 4; mask >= 1; mask /= 2 {
-		compareExchange(m, regs, mask, block, less)
-	}
+	f := splitRegs(m, regs)
+	MergeBlocksCols(m, f, block, less)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // SortBlocks sorts every aligned block of the given size by bitonic
@@ -336,10 +149,10 @@ func MergeBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) 
 // the hypercube for full-machine blocks (Table 1: sort). Empty registers
 // gather at the tail of each block.
 func SortBlocks[T any](m *M, regs []Reg[T], block int, less func(a, b T) bool) {
-	defer closeSpan(pspan(m, "sort", block))
-	for sub := 2; sub <= block; sub *= 2 {
-		MergeBlocks(m, regs, sub, less)
-	}
+	f := splitRegs(m, regs)
+	SortBlocksCols(m, f, block, less)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // Sort sorts the whole machine (one string).
@@ -347,120 +160,25 @@ func Sort[T any](m *M, regs []Reg[T], less func(a, b T) bool) {
 	SortBlocks(m, regs, len(regs), less)
 }
 
-// --- Routing-based operations ----------------------------------------------
-
-// rankOccupied writes each PE's occupancy count (0/1) for the rank
-// prefix of Compact. PE i writes only counts[i].
-func rankOccupied[T any](counts []Reg[int], regs []Reg[T], lo, hi int) {
-	for i := lo; i < hi; i++ {
-		c := 0
-		if regs[i].Ok {
-			c = 1
-		}
-		counts[i] = Some(c)
-	}
-}
-
-// markSegBase records each segment start's own index. PE i writes only
-// segBase[i].
-func markSegBase(segBase []Reg[int], segStart []bool, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		if segStart[i] {
-			segBase[i] = Some(i)
-		}
-	}
-}
-
 // Compact moves the occupied registers of each segment to the front of
 // the segment, preserving order: a parallel-prefix rank computation plus
 // one structured route (the "pack into a string" step used throughout
 // §4–§5).
 func Compact[T any](m *M, regs []Reg[T], segStart []bool) {
-	defer closeSpan(pspan(m, "compact", len(regs)))
-	n := len(regs)
-	// Rank each occupied register within its segment (exclusive count).
-	counts := GetScratch[Reg[int]](m, n)
-	m.ChargeLocal(1)
-	if m.workers > 1 {
-		par.ForEach(m.workers, n, func(lo, hi int) {
-			rankOccupied(counts, regs, lo, hi)
-		})
-	} else {
-		rankOccupied(counts, regs, 0, n)
-	}
-	Scan(m, counts, segStart, Forward, addInt)
-	segBase := GetScratch[Reg[int]](m, n)
-	m.ChargeLocal(1)
-	if m.workers > 1 {
-		par.ForEach(m.workers, n, func(lo, hi int) {
-			markSegBase(segBase, segStart, lo, hi)
-		})
-	} else {
-		markSegBase(segBase, segStart, 0, n)
-	}
-	Scan(m, segBase, segStart, Forward, nil)
-	out := GetScratch[Reg[T]](m, n)
-	src := GetScratch[int](m, n)[:0]
-	dst := GetScratch[int](m, n)[:0]
-	for i := range regs {
-		if !regs[i].Ok {
-			continue
-		}
-		d := segBase[i].V + counts[i].V - 1
-		src = append(src, i)
-		dst = append(dst, d)
-		out[d] = regs[i]
-	}
-	m.ChargeRoute(src, dst)
-	copy(regs, out)
-	PutScratch(m, dst)
-	PutScratch(m, src)
-	PutScratch(m, out)
-	PutScratch(m, segBase)
-	PutScratch(m, counts)
+	f := splitRegs(m, regs)
+	CompactCols(m, f, segStart)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // Route moves item i to dest[i] (−1 to drop). dest must be injective.
 // It is charged as one structured route; callers only use monotone or
 // block-local patterns that admit congestion-free greedy routing.
 func Route[T any](m *M, regs []Reg[T], dest []int) {
-	defer closeSpan(pspan(m, "route", len(regs)))
-	n := len(regs)
-	out := GetScratch[Reg[T]](m, n)
-	src := GetScratch[int](m, n)[:0]
-	dst := GetScratch[int](m, n)[:0]
-	for i := range regs {
-		if !regs[i].Ok || dest[i] < 0 {
-			continue
-		}
-		if out[dest[i]].Ok {
-			panic("machine: Route destination collision")
-		}
-		out[dest[i]] = regs[i]
-		src = append(src, i)
-		dst = append(dst, dest[i])
-	}
-	m.ChargeRoute(src, dst)
-	copy(regs, out)
-	PutScratch(m, dst)
-	PutScratch(m, src)
-	PutScratch(m, out)
-}
-
-// shiftRound is the per-PE body of ShiftWithin: PE i writes only out[i];
-// regs is read-only for the round.
-func shiftRound[T any](out, regs []Reg[T], block, delta, lo, hi int) int {
-	n := len(regs)
-	msgs := 0
-	for i := lo; i < hi; i++ {
-		j := i - delta // the PE whose value lands here
-		if j < 0 || j >= n || j/block != i/block || !regs[j].Ok {
-			continue
-		}
-		out[i] = regs[j]
-		msgs++
-	}
-	return msgs
+	f := splitRegs(m, regs)
+	RouteCols(m, f, dest)
+	joinRegs(f, regs)
+	PutCols(m, f)
 }
 
 // ShiftWithin returns what each PE receives when every PE sends its
@@ -470,17 +188,12 @@ func shiftRound[T any](out, regs []Reg[T], block, delta, lo, hi int) int {
 // release it with PutScratch to keep the enclosing loop allocation-free
 // (or simply drop it — an unreleased buffer is garbage-collected).
 func ShiftWithin[T any](m *M, regs []Reg[T], block, delta int) []Reg[T] {
-	n := len(regs)
-	out := GetScratch[Reg[T]](m, n)
-	var msgs int
-	if m.workers > 1 {
-		msgs = par.Reduce(m.workers, n, 0, func(lo, hi int) int {
-			return shiftRound(out, regs, block, delta, lo, hi)
-		}, addInt)
-	} else {
-		msgs = shiftRound(out, regs, block, delta, 0, n)
-	}
-	m.chargeShift(delta, msgs)
+	f := splitRegs(m, regs)
+	shifted := ShiftWithinCols(m, f, block, delta)
+	out := GetScratch[Reg[T]](m, len(regs))
+	joinRegs(shifted, out)
+	PutCols(m, shifted)
+	PutCols(m, f)
 	return out
 }
 

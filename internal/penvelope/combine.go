@@ -73,12 +73,12 @@ func MapPieces(m *machine.M, f pieces.Piecewise, fn func(pieces.Piece) []pieces.
 	if total > N {
 		return nil, fmt.Errorf("penvelope: MapPieces expansion (%d pieces) exceeds machine (%d PEs): %w", total, N, machine.ErrTooFewPEs)
 	}
-	counts := make([]machine.Reg[int], N)
+	counts := machine.GetCols[int](m, N)
 	m.ChargeLocal(1)
-	for i := range counts {
-		counts[i] = machine.Some(len(emitted[i]))
+	for i := 0; i < N; i++ {
+		counts.Set(i, len(emitted[i]))
 	}
-	machine.Scan(m, counts, machine.WholeMachine(N), machine.Forward,
+	machine.ScanCols(m, counts, machine.WholeMachine(N), machine.Forward,
 		func(a, b int) int { return a + b })
 	regs := make([]machine.Reg[envReg], N)
 	maxEmit := 0
@@ -86,7 +86,7 @@ func MapPieces(m *machine.M, f pieces.Piecewise, fn func(pieces.Piece) []pieces.
 		if len(emitted[i]) > maxEmit {
 			maxEmit = len(emitted[i])
 		}
-		base := counts[i].V - len(emitted[i])
+		base := counts.Val[i] - len(emitted[i])
 		for j, p := range emitted[i] {
 			regs[base+j] = machine.Some(envReg{p: p})
 		}
@@ -96,11 +96,12 @@ func MapPieces(m *machine.M, f pieces.Piecewise, fn func(pieces.Piece) []pieces.
 		for i := range emitted {
 			if j < len(emitted[i]) {
 				src = append(src, i)
-				dst = append(dst, counts[i].V-len(emitted[i])+j)
+				dst = append(dst, counts.Val[i]-len(emitted[i])+j)
 			}
 		}
 		m.ChargeRoute(src, dst)
 	}
+	machine.PutCols(m, counts)
 	if err := combineRuns(m, regs, N); err != nil {
 		return nil, err
 	}

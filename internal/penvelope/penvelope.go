@@ -198,7 +198,9 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	for i := 0; i < N; i += block {
 		seg[i] = true
 	}
-	seen := machine.GetScratch[machine.Reg[lastSeen]](m, N)
+	// seen is self-contained scratch (never crosses back into regs), so it
+	// lives natively in the columnar layout — no record split/join.
+	seen := machine.GetCols[lastSeen](m, N)
 	m.ChargeLocal(1)
 	par.ForEach(m.Workers(), N, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -212,10 +214,10 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 			} else {
 				ls.g, ls.gOk = r.p, true
 			}
-			seen[i] = machine.Some(ls)
+			seen.Val[i], seen.Occ[i] = ls, true
 		}
 	})
-	machine.Scan(m, seen, seg, machine.Forward, mergeSeen)
+	machine.ScanCols(m, seen, seg, machine.Forward, mergeSeen)
 	// Each PE also needs the start of the next piece to bound its window.
 	next := machine.ShiftWithin(m, regs, block, -1)
 	// Step 4–5: Θ(1) local work per PE — build the envelope restricted to
@@ -231,7 +233,7 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	maxEmit := par.Reduce(m.Workers(), N, 0, func(lo, hi int) int {
 		maxEmit := 0
 		for i := lo; i < hi; i++ {
-			if !regs[i].Ok || !seen[i].Ok {
+			if !regs[i].Ok || !seen.Occ[i] {
 				continue
 			}
 			w0 := regs[i].V.p.Lo
@@ -242,7 +244,7 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 			if !(w0 < w1) {
 				continue // empty window (tied left endpoints)
 			}
-			ls := seen[i].V
+			ls := seen.Val[i]
 			var fw, gw pieces.Piecewise
 			if ls.fOk {
 				fw = clip(ls.f, w0, w1)
@@ -264,18 +266,18 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	})
 	// Pack the emitted subpieces: rank by parallel prefix, then maxEmit
 	// structured routes (each PE holds Θ(1) subpieces).
-	counts := machine.GetScratch[machine.Reg[int]](m, N)
+	counts := machine.GetCols[int](m, N)
 	m.ChargeLocal(1)
-	for i := range counts {
-		counts[i] = machine.Some(len(emitted[i]))
+	for i := 0; i < N; i++ {
+		counts.Val[i], counts.Occ[i] = len(emitted[i]), true
 	}
-	machine.Scan(m, counts, seg, machine.Forward, func(a, b int) int { return a + b })
+	machine.ScanCols(m, counts, seg, machine.Forward, func(a, b int) int { return a + b })
 	out := machine.GetScratch[machine.Reg[envReg]](m, N)
 	for i := range regs {
 		if len(emitted[i]) == 0 {
 			continue
 		}
-		base := (i/block)*block + counts[i].V - len(emitted[i])
+		base := (i/block)*block + counts.Val[i] - len(emitted[i])
 		for j, p := range emitted[i] {
 			if base+j >= (i/block+1)*block {
 				return fmt.Errorf("%w at level %d", ErrBlockCapacity, block)
@@ -291,7 +293,7 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 		for i := range regs {
 			if j < len(emitted[i]) {
 				src = append(src, i)
-				dst = append(dst, (i/block)*block+counts[i].V-len(emitted[i])+j)
+				dst = append(dst, (i/block)*block+counts.Val[i]-len(emitted[i])+j)
 			}
 		}
 		m.ChargeRoute(src, dst)
@@ -304,10 +306,10 @@ func mergeLevel(m *machine.M, regs []machine.Reg[envReg], block int, window func
 	machine.PutScratch(m, dstBuf)
 	machine.PutScratch(m, srcBuf)
 	machine.PutScratch(m, out)
-	machine.PutScratch(m, counts)
+	machine.PutCols(m, counts)
 	machine.PutScratch(m, emitted)
 	machine.PutScratch(m, next)
-	machine.PutScratch(m, seen)
+	machine.PutCols(m, seen)
 	machine.PutScratch(m, seg)
 	// Step 6: combine adjacent subpieces with the same generating
 	// function (runs), using a prefix within runs.
@@ -342,13 +344,13 @@ func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
 	machine.PutScratch(m, prev)
 	// Bring each run's final Hi to its head: a backward flood (nil op)
 	// within runs.
-	his := machine.GetScratch[machine.Reg[float64]](m, N)
+	his := machine.GetCols[float64](m, N)
 	for i := range regs {
 		if regs[i].Ok {
-			his[i] = machine.Some(regs[i].V.p.Hi)
+			his.Val[i], his.Occ[i] = regs[i].V.p.Hi, true
 		}
 	}
-	machine.Scan(m, his, runStart, machine.Backward, nil)
+	machine.ScanCols(m, his, runStart, machine.Backward, nil)
 	m.ChargeLocal(1)
 	for i := range regs {
 		if !regs[i].Ok {
@@ -356,13 +358,13 @@ func combineRuns(m *machine.M, regs []machine.Reg[envReg], block int) error {
 		}
 		if runStart[i] {
 			r := regs[i].V
-			r.p.Hi = his[i].V
+			r.p.Hi = his.Val[i]
 			regs[i] = machine.Some(r)
 		} else {
 			regs[i] = machine.None[envReg]()
 		}
 	}
-	machine.PutScratch(m, his)
+	machine.PutCols(m, his)
 	seg := machine.GetScratch[bool](m, N)
 	for i := 0; i < N; i += block {
 		seg[i] = true

@@ -62,27 +62,29 @@ func sectorOwners[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T], queries 
 		owner int
 		dir   geom.Point[T]
 	}
-	lastB := machine.GetScratch[machine.Reg[seen]](m, n)
-	defer machine.PutScratch(m, lastB)
+	// lastB is self-contained scratch, so it lives natively in the
+	// columnar layout (no record split/join around the scan).
+	lastB := machine.GetCols[seen](m, n)
+	defer machine.PutCols(m, lastB)
 	m.ChargeLocal(1)
 	for i := range entries {
 		if entries[i].Ok && entries[i].V.boundary {
-			lastB[i] = machine.Some(seen{owner: entries[i].V.owner, dir: entries[i].V.dir})
+			lastB.Set(i, seen{owner: entries[i].V.owner, dir: entries[i].V.dir})
 		}
 	}
 	seg := machine.GetScratch[bool](m, n)
 	if n > 0 {
 		seg[0] = true
 	}
-	machine.Scan(m, lastB, seg, machine.Forward,
+	machine.ScanCols(m, lastB, seg, machine.Forward,
 		func(a, b seen) seen { return b })
 	machine.PutScratch(m, seg)
 	// Circular wrap: queries before the first boundary belong to the
 	// globally last boundary's sector (one semigroup/broadcast).
 	var wrap machine.Reg[seen]
 	for i := n - 1; i >= 0; i-- {
-		if lastB[i].Ok {
-			wrap = lastB[i]
+		if lastB.Occ[i] {
+			wrap = machine.Some(lastB.Val[i])
 			break
 		}
 	}
@@ -94,8 +96,8 @@ func sectorOwners[T ratfun.Real[T]](m *machine.M, hull []geom.Point[T], queries 
 		}
 		e := entries[i].V
 		sb := wrap
-		if lastB[i].Ok {
-			sb = lastB[i]
+		if lastB.Occ[i] {
+			sb = machine.Some(lastB.Val[i])
 		}
 		if !sb.Ok {
 			continue

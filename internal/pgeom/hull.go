@@ -415,25 +415,26 @@ func verifySteadyHull(m *machine.M, pts []geom.Point[ratfun.RatFun], cand []int)
 		return false
 	})
 	// Forward scan: latest boundary position; wrap via global last.
-	lastB := machine.GetScratch[machine.Reg[int]](m, n)
-	defer machine.PutScratch(m, lastB)
+	// lastB is self-contained scratch — native columnar, no split/join.
+	lastB := machine.GetCols[int](m, n)
+	defer machine.PutCols(m, lastB)
 	m.ChargeLocal(1)
 	for i := range entries {
 		if entries[i].Ok && entries[i].V.boundary {
-			lastB[i] = machine.Some(entries[i].V.hullPos)
+			lastB.Set(i, entries[i].V.hullPos)
 		}
 	}
 	seg := machine.GetScratch[bool](m, n)
 	if n > 0 {
 		seg[0] = true
 	}
-	machine.Scan(m, lastB, seg, machine.Forward,
+	machine.ScanCols(m, lastB, seg, machine.Forward,
 		func(a, b int) int { return b })
 	machine.PutScratch(m, seg)
 	globalLast := machine.Some(-1)
 	for i := n - 1; i >= 0; i-- {
-		if lastB[i].Ok {
-			globalLast = lastB[i]
+		if lastB.Occ[i] {
+			globalLast = machine.Some(lastB.Val[i])
 			break
 		}
 	}
@@ -443,8 +444,8 @@ func verifySteadyHull(m *machine.M, pts []geom.Point[ratfun.RatFun], cand []int)
 			continue
 		}
 		sector := -1
-		if lastB[i].Ok {
-			sector = lastB[i].V
+		if lastB.Occ[i] {
+			sector = lastB.Val[i]
 		} else if globalLast.Ok {
 			sector = globalLast.V
 		}

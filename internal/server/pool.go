@@ -54,18 +54,31 @@ type pooled struct {
 type Pool struct {
 	mu        sync.Mutex
 	capacity  int
+	maxPEs    int
 	clock     uint64
 	idle      map[Key][]pooled
 	n         int
+	pes       int
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
-// NewPool returns a pool retaining at most capacity idle machines
-// (capacity ≤ 0 disables retention: every Put discards the machine).
+// NewPool returns a pool retaining at most capacity idle machines with
+// no PE-retention budget (capacity ≤ 0 disables retention: every Put
+// discards the machine).
 func NewPool(capacity int) *Pool {
-	return &Pool{capacity: capacity, idle: make(map[Key][]pooled)}
+	return NewPoolPEs(capacity, 0)
+}
+
+// NewPoolPEs is NewPool with a PE-retention budget: the pool retains at
+// most maxPEs total PEs across all idle machines (maxPEs ≤ 0 =
+// unbounded). The machine-count cap alone is the wrong control at large
+// n — 32 idle 2^20-PE machines pin tens of gigabytes of register and
+// arena memory — so the budget bounds retained memory by construction
+// size, evicting least-recently-used machines first.
+func NewPoolPEs(capacity, maxPEs int) *Pool {
+	return &Pool{capacity: capacity, maxPEs: maxPEs, idle: make(map[Key][]pooled)}
 }
 
 // Get checks the most recently used idle machine of the size class out
@@ -81,6 +94,7 @@ func (p *Pool) Get(key Key) *machine.M {
 		stack[n-1] = pooled{}
 		p.idle[key] = stack[:n-1]
 		p.n--
+		p.pes -= m.Size()
 		p.hits++
 		m.WarmReset()
 		return m
@@ -107,7 +121,14 @@ func (p *Pool) Put(key Key, m *machine.M) {
 	p.clock++
 	p.idle[key] = append(p.idle[key], pooled{m: m, seen: p.clock})
 	p.n++
+	p.pes += m.Size()
 	for p.n > p.capacity {
+		p.evictOldest()
+	}
+	// The PE budget can evict the just-inserted machine itself: a single
+	// over-budget machine (e.g. a one-off 2^20-PE request) is not worth
+	// pinning the memory of an entire warm fleet.
+	for p.maxPEs > 0 && p.pes > p.maxPEs && p.n > 0 {
 		p.evictOldest()
 	}
 }
@@ -127,6 +148,7 @@ func (p *Pool) evictOldest() {
 		return
 	}
 	stack := p.idle[victim]
+	p.pes -= stack[0].m.Size()
 	copy(stack, stack[1:])
 	stack[len(stack)-1] = pooled{}
 	p.idle[victim] = stack[:len(stack)-1]
@@ -134,17 +156,20 @@ func (p *Pool) evictOldest() {
 	p.evictions++
 }
 
-// PoolStats is a snapshot of the pool's counters.
+// PoolStats is a snapshot of the pool's counters. IdlePEs is the total
+// PE count across idle machines — the quantity the PE-retention budget
+// bounds.
 type PoolStats struct {
 	Hits, Misses, Evictions uint64
 	Idle                    int
+	IdlePEs                 int
 }
 
 // Stats returns a snapshot of the pool's counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Idle: p.n}
+	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Idle: p.n, IdlePEs: p.pes}
 }
 
 // IdleIn returns the number of idle machines in one size class.
@@ -162,5 +187,6 @@ func (p *Pool) Flush() int {
 	dropped := p.n
 	p.idle = make(map[Key][]pooled)
 	p.n = 0
+	p.pes = 0
 	return dropped
 }

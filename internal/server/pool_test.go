@@ -114,6 +114,57 @@ func TestPoolPutDetachesRequestState(t *testing.T) {
 	}
 }
 
+// TestPoolPEBudgetEvictsLRU: the PE-retention budget evicts
+// least-recently-used machines until the total idle PE count fits,
+// independently of the machine-count cap.
+func TestPoolPEBudgetEvictsLRU(t *testing.T) {
+	p := NewPoolPEs(32, 256)
+	k64 := Key{Topo: "hypercube", PEs: 64, Workers: 1}
+	k128 := Key{Topo: "hypercube", PEs: 128, Workers: 1}
+	p.Put(k64, newMachine(t, 64))
+	p.Put(k128, newMachine(t, 128))
+	p.Put(k128, newMachine(t, 128)) // 320 PEs total: evicts the oldest (64-PE)
+	if got := p.Get(k64); got != nil {
+		t.Errorf("64-PE machine still pooled after PE budget exceeded")
+	}
+	st := p.Stats()
+	if st.Evictions != 1 || st.IdlePEs != 256 {
+		t.Errorf("stats = %+v, want 1 eviction and 256 idle PEs", st)
+	}
+}
+
+// TestPoolPEBudgetDropsOversizedMachine: a machine bigger than the whole
+// budget is not retained at all — one giant checkout must not pin the
+// memory of an entire warm fleet.
+func TestPoolPEBudgetDropsOversizedMachine(t *testing.T) {
+	p := NewPoolPEs(32, 100)
+	key := Key{Topo: "hypercube", PEs: 128, Workers: 1}
+	p.Put(key, newMachine(t, 128))
+	if st := p.Stats(); st.Idle != 0 || st.IdlePEs != 0 {
+		t.Errorf("stats = %+v, want nothing retained", st)
+	}
+}
+
+// TestPoolPEBudgetAccounting: checkouts and Flush release budget.
+func TestPoolPEBudgetAccounting(t *testing.T) {
+	p := NewPoolPEs(32, 1024)
+	key := Key{Topo: "hypercube", PEs: 256, Workers: 1}
+	p.Put(key, newMachine(t, 256))
+	p.Put(key, newMachine(t, 256))
+	if st := p.Stats(); st.IdlePEs != 512 {
+		t.Fatalf("IdlePEs = %d, want 512", st.IdlePEs)
+	}
+	m := p.Get(key)
+	if st := p.Stats(); st.IdlePEs != 256 {
+		t.Errorf("IdlePEs after checkout = %d, want 256", st.IdlePEs)
+	}
+	p.Put(key, m)
+	p.Flush()
+	if st := p.Stats(); st.IdlePEs != 0 {
+		t.Errorf("IdlePEs after flush = %d, want 0", st.IdlePEs)
+	}
+}
+
 func TestPoolDisabledRetainsNothing(t *testing.T) {
 	p := NewPool(-1)
 	key := Key{Topo: "hypercube", PEs: 64, Workers: 1}

@@ -28,6 +28,11 @@ type Config struct {
 	// PoolCap is the maximum number of idle machines retained across all
 	// size classes (0 = 32; negative disables pooling entirely).
 	PoolCap int
+	// PoolMaxPEs bounds the total PE count across idle pooled machines —
+	// the memory control at large n, where a single 2^20-PE machine
+	// holds tens of megabytes of register and arena buffers (0 = 2^22,
+	// about four idle 2^20-PE machines; negative = unbounded).
+	PoolMaxPEs int
 	// MaxInFlight caps concurrently executing requests (0 = GOMAXPROCS).
 	MaxInFlight int
 	// MaxQueue caps requests waiting for an execution slot; beyond it
@@ -84,6 +89,9 @@ func New(cfg Config) *Server {
 	if cfg.PoolCap == 0 {
 		cfg.PoolCap = 32
 	}
+	if cfg.PoolMaxPEs == 0 {
+		cfg.PoolMaxPEs = 1 << 22
+	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
 	}
@@ -108,7 +116,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:   cfg,
-		pool:  NewPool(cfg.PoolCap),
+		pool:  NewPoolPEs(cfg.PoolCap, cfg.PoolMaxPEs),
 		met:   NewMetrics(),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		queue: make(chan struct{}, cfg.MaxInFlight+cfg.MaxQueue),

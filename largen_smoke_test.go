@@ -1,0 +1,83 @@
+// TestLargeNSmoke drives the columnar simulator core end to end at the
+// scale the struct-of-arrays refactor targets: a machine of 2^20 PEs —
+// beyond the old practical ceiling — running one hull algorithm and one
+// envelope construction to completion under a wall-clock budget. The
+// point is not the geometry (the workload is modest) but the primitive
+// layer: every whole-machine scan, merge, sort and compaction in these
+// runs sweeps all 2^20 PEs through the flat columnar round bodies, so a
+// superlinear regression in the core shows up as a budget breach here
+// long before it would trip the (noise-tolerant) ns/op bench gate.
+//
+// CI runs this as its own step (large-n smoke); -short skips it.
+package dyncg_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dyncg"
+	"dyncg/internal/curve"
+	"dyncg/internal/hypercube"
+	"dyncg/internal/machine"
+	"dyncg/internal/motion"
+	"dyncg/internal/penvelope"
+	"dyncg/internal/pieces"
+)
+
+const largeNPEs = 1 << 20
+
+// largeNBudget bounds one run's wall clock. Generous against shared-CI
+// noise: locally each run is an order of magnitude faster.
+const largeNBudget = 4 * time.Minute
+
+func TestLargeNSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n smoke skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation makes the 2^20-PE sweeps wall-clock prohibitive; the columnar battery covers these paths under -race at smaller n")
+	}
+	t.Run("steady-hull", func(t *testing.T) {
+		m := machine.New(hypercube.MustNew(largeNPEs))
+		sys := motion.Random(rand.New(rand.NewSource(1988)), 48, 1, 2, 10)
+		start := time.Now()
+		hull, err := dyncg.SteadyHull(m, sys)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hull) < 3 {
+			t.Fatalf("steady hull of 48 random points has %d vertices", len(hull))
+		}
+		t.Logf("steady-hull on %d PEs: %v (%d hull vertices, %d rounds)",
+			largeNPEs, elapsed, len(hull), m.Stats().Rounds)
+		if elapsed > largeNBudget {
+			t.Errorf("steady-hull took %v, budget %v", elapsed, largeNBudget)
+		}
+	})
+	t.Run("envelope", func(t *testing.T) {
+		m := machine.New(hypercube.MustNew(largeNPEs))
+		// Enough curves that the recursion works through several merge
+		// levels, each sweeping the full 2^20-PE register file.
+		r := rand.New(rand.NewSource(1988))
+		cs := make([]curve.Curve, 64)
+		for i := range cs {
+			cs[i] = curve.NewPoly(dyncg.Polynomial(r.Float64()*20-10, r.Float64()*2-1))
+		}
+		start := time.Now()
+		env, err := penvelope.EnvelopeOfCurves(m, cs, pieces.Min)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(env) == 0 {
+			t.Fatal("empty envelope")
+		}
+		t.Logf("envelope of %d curves on %d PEs: %v (%d pieces, %d rounds)",
+			len(cs), largeNPEs, elapsed, len(env), m.Stats().Rounds)
+		if elapsed > largeNBudget {
+			t.Errorf("envelope took %v, budget %v", elapsed, largeNBudget)
+		}
+	})
+}

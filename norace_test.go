@@ -1,0 +1,10 @@
+//go:build !race
+
+package dyncg_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Race instrumentation multiplies the wall clock of the
+// 2^20-PE sweeps by an order of magnitude, so the large-n smoke runs
+// only in uninstrumented builds; the same columnar code paths get their
+// race coverage from the differential battery at smaller n.
+const raceEnabled = false

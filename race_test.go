@@ -1,0 +1,5 @@
+//go:build race
+
+package dyncg_test
+
+const raceEnabled = true

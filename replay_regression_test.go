@@ -295,9 +295,17 @@ func TestReplaySeedCorpus(t *testing.T) {
 	}
 	var traces []string
 	for _, d := range dirs {
-		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
-			traces = append(traces, d)
+		fi, err := os.Stat(d)
+		if err != nil || !fi.IsDir() {
+			continue
 		}
+		// Only directories holding replaylog segments are traces;
+		// testdata/replay also hosts the columnar golden captures.
+		segs, err := filepath.Glob(filepath.Join(d, "replay-*.log"))
+		if err != nil || len(segs) == 0 {
+			continue
+		}
+		traces = append(traces, d)
 	}
 	if len(traces) == 0 {
 		t.Fatal("no seed traces under testdata/replay — regenerate with scripts/server_smoke.sh")

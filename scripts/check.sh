@@ -30,16 +30,19 @@ echo "==> go build"
 go build ./...
 
 echo "==> go test -race"
-go test -race ./...
+# 20m headroom: the root package carries the full columnar differential
+# battery (n up to 65536), which race instrumentation slows well past
+# the default 10m per-binary timeout on shared runners.
+go test -race -timeout 20m ./...
 
 echo "==> coverage gate"
-# Total statement coverage measured at 76.1% when the replay log and
-# its regression battery landed (72.5% when the gate was added in
-# PR 2, 76.8% after the fault-injection battery); the floor rides just
-# under the measured total so any wholesale loss of test coverage
-# fails fast while leaving headroom for refactoring noise.
-floor=76.0
-go test -coverprofile=coverage.out ./... >/dev/null
+# Total statement coverage measured at 78.3% when the columnar core and
+# its scale-up differential battery landed (76.1% after the replay log,
+# 72.5% when the gate was added in PR 2); the floor rides just under
+# the measured total so any wholesale loss of test coverage fails fast
+# while leaving headroom for refactoring noise.
+floor=77.0
+go test -coverprofile=coverage.out -timeout 20m ./... >/dev/null
 total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
 rm -f coverage.out
 echo "total statement coverage: ${total}% (floor ${floor}%)"
