@@ -26,6 +26,12 @@
 //     belongs on a quiet machine with the committed baseline refreshed
 //     deliberately (scripts/bench.sh with no flag).
 //
+//   - req/s (the saturation throughput rows reported by
+//     BenchmarkServerThroughput via b.ReportMetric) is higher-is-better
+//     and as host-dependent as ns/op, so its gate mirrors the
+//     catastrophic one in the opposite direction: FAIL when
+//     new < old/6.
+//
 // A benchmark present in the baseline but missing from stdin fails the
 // gate (a silently dropped benchmark would hide any regression); new
 // benchmarks not yet in the baseline are reported and pass.
@@ -44,12 +50,14 @@ import (
 )
 
 // Result is one benchmark's measurements. AllocsOp and BytesOp are −1
-// when the benchmark did not report memory statistics.
+// when the benchmark did not report memory statistics; ReqS is 0 when
+// the benchmark did not report a throughput metric.
 type Result struct {
 	Name     string  `json:"name"`
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  float64 `json:"b_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	ReqS     float64 `json:"req_s,omitempty"`
 }
 
 // Baseline is the committed BENCH_perf.json schema.
@@ -150,6 +158,8 @@ func parse(f io.Reader) ([]Result, error) {
 				r.BytesOp = v
 			case "allocs/op":
 				r.AllocsOp = v
+			case "req/s":
+				r.ReqS = v
 			}
 		}
 		out = append(out, r)
@@ -191,6 +201,11 @@ func gate(base Baseline, cur []Result) bool {
 		if old.NsOp > 0 && now.NsOp > old.NsOp*6 {
 			fmt.Printf("FAIL %s: ns/op %.0f exceeds baseline %.0f by >6x (catastrophic gate)\n",
 				old.Name, now.NsOp, old.NsOp)
+			ok = false
+		}
+		if old.ReqS > 0 && now.ReqS < old.ReqS/6 {
+			fmt.Printf("FAIL %s: req/s %.0f fell below baseline %.0f by >6x (catastrophic gate, higher is better)\n",
+				old.Name, now.ReqS, old.ReqS)
 			ok = false
 		}
 	}

@@ -16,14 +16,15 @@ pkg: dyncg
 BenchmarkPerf/scan/mesh/n=256-8         	     100	     12345 ns/op	       0 B/op	       0 allocs/op
 BenchmarkPerfLargeN/scan/hypercube/n=1048576-16 	      20	 232739023 ns/op	       0 B/op	       0 allocs/op
 BenchmarkNoMem-4	100	99 ns/op
+BenchmarkServerThroughput/shards=2/dup=50-8 	   12000	     83000 ns/op	     12048 req/s
 PASS
 `)
 	got, err := parse(in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(got))
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(got))
 	}
 	// Sorted by name; the -N GOMAXPROCS suffix must be stripped so
 	// baselines compare across machines with different core counts.
@@ -38,6 +39,12 @@ PASS
 	}
 	if got[2].Name != "BenchmarkPerfLargeN/scan/hypercube/n=1048576" || got[2].NsOp != 232739023 {
 		t.Errorf("got[2] = %+v", got[2])
+	}
+	if got[3].Name != "BenchmarkServerThroughput/shards=2/dup=50" || got[3].ReqS != 12048 {
+		t.Errorf("got[3] = %+v (want req/s metric parsed)", got[3])
+	}
+	if got[0].ReqS != 0 || got[1].ReqS != 0 {
+		t.Errorf("rows without a throughput metric should record ReqS 0: %+v, %+v", got[0], got[1])
 	}
 }
 
@@ -82,6 +89,35 @@ func TestGateTolerances(t *testing.T) {
 		{"ns-noise-ok", res("b", 100, 0, 0), res("b", 600, 0, 0), true},
 		{"ns-catastrophic", res("b", 100, 0, 0), res("b", 601, 0, 0), false},
 		{"no-benchmem-skips-mem-gates", res("b", 100, -1, -1), res("b", 100, 1e9, 1e9), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Baseline{Benchmarks: []Result{tc.old}}
+			if got := gate(base, []Result{tc.now}); got != tc.ok {
+				t.Errorf("gate(old=%+v, now=%+v) = %v, want %v", tc.old, tc.now, got, tc.ok)
+			}
+		})
+	}
+}
+
+// TestGateThroughputDirection: req/s is higher-is-better — the gate
+// must fire on collapses, not on gains, and skip rows without the
+// metric.
+func TestGateThroughputDirection(t *testing.T) {
+	reqs := func(name string, ns, rs float64) Result {
+		return Result{Name: name, NsOp: ns, BytesOp: -1, AllocsOp: -1, ReqS: rs}
+	}
+	cases := []struct {
+		name string
+		old  Result
+		now  Result
+		ok   bool
+	}{
+		{"reqs-noise-ok", reqs("t", 100, 6000), reqs("t", 100, 1001), true},
+		{"reqs-collapse", reqs("t", 100, 6000), reqs("t", 100, 999), false},
+		{"reqs-gain-ok", reqs("t", 100, 6000), reqs("t", 100, 60000), true},
+		{"reqs-absent-in-baseline", reqs("t", 100, 0), reqs("t", 100, 1), true},
+		{"reqs-lost-metric", reqs("t", 100, 6000), reqs("t", 100, 0), false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -74,6 +74,9 @@ var (
 	logFormat    = flag.String("log", "json", "request log format: json|text")
 	logDir       = flag.String("log-dir", "", "record every /v1/* request into a hash-chained replay log under this directory (empty disables)")
 	logMaxBytes  = flag.Int64("log-max-bytes", replaylog.DefaultMaxSegment, "replay-log segment rotation threshold in bytes")
+	shards       = flag.Int("shards", 1, "number of in-process server shards; requests route by machine class, sessions by ID (consistent hash)")
+	rcacheBytes  = flag.Int64("rcache-bytes", server.DefaultCacheBytes, "response cache budget in bytes, per shard (0 disables)")
+	coalesce     = flag.Bool("coalesce", true, "merge identical in-flight requests into one computation")
 )
 
 func main() {
@@ -106,7 +109,7 @@ func main() {
 		log.Info("replay log open", "dir", *logDir, "next_seq", seq, "head", head)
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		PoolCap:        *poolCap,
 		PoolMaxPEs:     *poolMaxPEs,
 		MaxInFlight:    *maxInflight,
@@ -117,12 +120,28 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		Logger:         log,
 		ReplayLog:      rlog,
-	})
+		CacheBytes:     *rcacheBytes,
+		Coalesce:       *coalesce,
+	}
+
+	// A Server and a Router expose the same serving surface; -shards 1
+	// skips the routing layer entirely.
+	var srv interface {
+		Handler() http.Handler
+		SetDraining(bool)
+		InFlight() int
+	}
+	if *shards > 1 {
+		srv = server.NewRouter(*shards, cfg)
+	} else {
+		srv = server.New(cfg)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Info("dyncgd listening", "addr", *addr, "pool_cap", *poolCap)
+	log.Info("dyncgd listening", "addr", *addr, "pool_cap", *poolCap,
+		"shards", *shards, "rcache_bytes", *rcacheBytes, "coalesce", *coalesce)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -167,6 +186,9 @@ func runReplay(args []string) int {
 		poolCap    = fs.Int("pool-cap", 32, "pool capacity of the replay server (match the recording daemon)")
 		workers    = fs.Int("workers", 0, "default worker-pool size of the replay server (match the recording daemon)")
 		ignorePool = fs.Bool("ignore-pool", false, "mask pool checkout info before diffing (for traces recorded under concurrent traffic)")
+		cacheBytes = fs.Int64("rcache-bytes", server.DefaultCacheBytes, "response cache budget of the replay server (match the recording daemon: a cached repeat only re-derives identical bytes if replay caches too)")
+		coalesce   = fs.Bool("coalesce", true, "enable coalescing on the replay server (match the recording daemon)")
+		verifyOnly = fs.Bool("verify-only", false, "verify the hash chain and exit without re-executing")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -180,8 +202,16 @@ func runReplay(args []string) int {
 		return 1
 	}
 	fmt.Printf("verified %d records (chain intact)\n", len(recs))
+	if *verifyOnly {
+		return 0
+	}
 
-	srv := server.New(server.Config{PoolCap: *poolCap, DefaultWorkers: *workers})
+	srv := server.New(server.Config{
+		PoolCap:        *poolCap,
+		DefaultWorkers: *workers,
+		CacheBytes:     *cacheBytes,
+		Coalesce:       *coalesce,
+	})
 	end := *to
 	if end == 0 {
 		end = ^uint64(0)

@@ -1,0 +1,397 @@
+// Command loadgen drives a running dyncgd daemon with a synthetic
+// request mix and reports achieved throughput, a latency histogram,
+// and the response-source split (computed / coalesced / cache, from
+// the X-Dyncg-Source header) — the measurement half of the serving
+// saturation experiments in EXPERIMENTS.md and the CI throughput
+// smoke job.
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s -concurrency 16 -dup 0.5
+//
+// The workload has two knobs that matter for the front door:
+//
+//   - -dup is the duplicate ratio: the fraction of one-shot requests
+//     drawn from a small hot set of byte-identical cacheable requests
+//     (size -hot). These are the requests coalescing merges and the
+//     response cache absorbs; the rest are freshly generated unique
+//     systems that always miss.
+//   - -session-mix diverts a fraction of operations to stateful
+//     sessions (one per worker: created lazily, then alternating
+//     update and query), which bypass the cache entirely.
+//
+// By default workers run closed-loop (each sends the next request as
+// soon as the previous returns); -rate switches to an open loop that
+// admits requests from a token bucket at the given req/s with -burst
+// capacity. -json emits the summary as one JSON object for scripts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dyncg/internal/api"
+	"dyncg/internal/motion"
+)
+
+var (
+	addr       = flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	duration   = flag.Duration("duration", 10*time.Second, "how long to drive load")
+	conc       = flag.Int("concurrency", 8, "worker goroutines")
+	rate       = flag.Float64("rate", 0, "open-loop request rate in req/s across all workers (0 = closed loop)")
+	burst      = flag.Int("burst", 1, "open-loop token-bucket burst capacity")
+	dup        = flag.Float64("dup", 0.5, "fraction of one-shot requests drawn from the hot set (byte-identical, cacheable)")
+	hotSet     = flag.Int("hot", 4, "distinct requests in the hot set")
+	hotN       = flag.Int("hot-n", 24, "points per hot-set system")
+	uniqN      = flag.Int("n", 8, "points per unique (cache-missing) system")
+	sessionMix = flag.Float64("session-mix", 0, "fraction of operations that drive a stateful session instead of a one-shot request")
+	seed       = flag.Int64("seed", 1, "workload RNG seed")
+	algo       = flag.String("algorithm", "steady-hull", "one-shot endpoint to drive")
+	jsonOut    = flag.Bool("json", false, "print the summary as JSON")
+)
+
+// latBuckets are latency histogram upper bounds in microseconds.
+var latBuckets = []int64{100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000}
+
+// tally is one worker's private counters, merged after the run.
+type tally struct {
+	sent     int64
+	errors   int64
+	bySource map[string]int64
+	byStatus map[int]int64
+	buckets  []int64 // len(latBuckets)+1
+	sumUs    int64
+}
+
+func newTally() *tally {
+	return &tally{
+		bySource: make(map[string]int64),
+		byStatus: make(map[int]int64),
+		buckets:  make([]int64, len(latBuckets)+1),
+	}
+}
+
+func (t *tally) observe(status int, source string, d time.Duration) {
+	t.sent++
+	t.byStatus[status]++
+	if source == "" {
+		source = "none"
+	}
+	t.bySource[source]++
+	us := d.Microseconds()
+	t.sumUs += us
+	i := sort.Search(len(latBuckets), func(i int) bool { return us <= latBuckets[i] })
+	t.buckets[i]++
+}
+
+// Summary is the -json output schema.
+type Summary struct {
+	Duration   float64          `json:"duration_s"`
+	Sent       int64            `json:"sent"`
+	Errors     int64            `json:"errors"`
+	ReqS       float64          `json:"req_s"`
+	BySource   map[string]int64 `json:"by_source"`
+	ByStatus   map[string]int64 `json:"by_status"`
+	MeanUs     float64          `json:"mean_us"`
+	P50Us      int64            `json:"p50_us"`
+	P90Us      int64            `json:"p90_us"`
+	P99Us      int64            `json:"p99_us"`
+	Duplicates float64          `json:"dup"`
+	Workers    int              `json:"workers"`
+}
+
+func wireSystem(sys *motion.System) [][][]float64 {
+	out := make([][][]float64, len(sys.Points))
+	for i, p := range sys.Points {
+		coords := make([][]float64, len(p.Coord))
+		for j, c := range p.Coord {
+			coords[j] = append([]float64(nil), c...)
+		}
+		out[i] = coords
+	}
+	return out
+}
+
+func marshalRequest(sys *motion.System) []byte {
+	body, err := json.Marshal(api.Request{V: api.Version, System: wireSystem(sys)})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+// worker owns one RNG, one optional session, and one tally.
+type worker struct {
+	id      int
+	rnd     *rand.Rand
+	client  *http.Client
+	base    string
+	hot     [][]byte
+	tokens  <-chan struct{}
+	tal     *tally
+	sessID  string
+	sessOps int
+}
+
+func (w *worker) post(path string, body []byte) (int, string, error) {
+	req, err := http.NewRequest(http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Dyncg-Source"), nil
+}
+
+func (w *worker) get(path string) (int, string, error) {
+	resp, err := w.client.Get(w.base + path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Dyncg-Source"), nil
+}
+
+// sessionStep drives one stateful operation: create on first use, then
+// alternate update and query.
+func (w *worker) sessionStep() (int, string, error) {
+	if w.sessID == "" {
+		sys := motion.Random(rand.New(rand.NewSource(w.rnd.Int63())), 6, 1, 2, 10)
+		body, err := json.Marshal(api.SessionCreateRequest{
+			V: api.Version, Algorithm: "closest-point-sequence",
+			System: wireSystem(sys), Origin: 0,
+		})
+		if err != nil {
+			return 0, "", err
+		}
+		req, err := http.NewRequest(http.MethodPost, w.base+"/v1/sessions", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			var created api.SessionCreateResponse
+			if err := json.Unmarshal(data, &created); err == nil {
+				w.sessID = created.Session.ID
+			}
+		}
+		return resp.StatusCode, resp.Header.Get("X-Dyncg-Source"), nil
+	}
+	w.sessOps++
+	if w.sessOps%2 == 1 {
+		delta := fmt.Sprintf(`{"v":1,"deltas":[{"op":"retarget","id":1,"point":[[%d,1],[%d]]}]}`,
+			w.rnd.Intn(20), w.rnd.Intn(20))
+		return w.post("/v1/sessions/"+w.sessID+"/update", []byte(delta))
+	}
+	return w.get("/v1/sessions/" + w.sessID + "/query")
+}
+
+func (w *worker) run(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		if w.tokens != nil {
+			select {
+			case <-w.tokens:
+			case <-time.After(time.Until(deadline)):
+				return
+			}
+		}
+		var body []byte
+		start := time.Now()
+		var status int
+		var source string
+		var err error
+		switch {
+		case w.rnd.Float64() < *sessionMix:
+			status, source, err = w.sessionStep()
+		case w.rnd.Float64() < *dup:
+			body = w.hot[w.rnd.Intn(len(w.hot))]
+			status, source, err = w.post("/v1/"+*algo, body)
+		default:
+			sys := motion.Diverging(rand.New(rand.NewSource(w.rnd.Int63())), *uniqN)
+			body = marshalRequest(sys)
+			status, source, err = w.post("/v1/"+*algo, body)
+		}
+		if err != nil {
+			w.tal.errors++
+			continue
+		}
+		w.tal.observe(status, source, time.Since(start))
+	}
+	if w.sessID != "" {
+		req, err := http.NewRequest(http.MethodDelete, w.base+"/v1/sessions/"+w.sessID, nil)
+		if err == nil {
+			if resp, err := w.client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+}
+
+// percentile returns the upper bound of the bucket holding the p-th
+// percentile observation (the final bucket reports the largest bound).
+func percentile(buckets []int64, total int64, p float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	want := int64(float64(total) * p)
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if cum >= want {
+			if i < len(latBuckets) {
+				return latBuckets[i]
+			}
+			break
+		}
+	}
+	return latBuckets[len(latBuckets)-1]
+}
+
+func main() {
+	flag.Parse()
+	if *conc < 1 {
+		*conc = 1
+	}
+	if *hotSet < 1 {
+		*hotSet = 1
+	}
+
+	// The hot set is deterministic in -seed: every loadgen run (and every
+	// worker) agrees on its bytes, so duplicates are byte-identical.
+	hotRnd := rand.New(rand.NewSource(*seed))
+	hot := make([][]byte, *hotSet)
+	for i := range hot {
+		hot[i] = marshalRequest(motion.Diverging(rand.New(rand.NewSource(hotRnd.Int63())), *hotN))
+	}
+
+	var tokens chan struct{}
+	var stopFill chan struct{}
+	if *rate > 0 {
+		if *burst < 1 {
+			*burst = 1
+		}
+		tokens = make(chan struct{}, *burst)
+		stopFill = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / *rate)
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // bucket full; token dropped
+					}
+				case <-stopFill:
+					return
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	workers := make([]*worker, *conc)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = &worker{
+			id:     i,
+			rnd:    rand.New(rand.NewSource(*seed + int64(i) + 1)),
+			client: &http.Client{Timeout: 60 * time.Second},
+			base:   *addr,
+			hot:    hot,
+			tokens: tokens,
+			tal:    newTally(),
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(deadline)
+		}(workers[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if stopFill != nil {
+		close(stopFill)
+	}
+
+	total := newTally()
+	for _, w := range workers {
+		total.sent += w.tal.sent
+		total.errors += w.tal.errors
+		total.sumUs += w.tal.sumUs
+		for k, v := range w.tal.bySource {
+			total.bySource[k] += v
+		}
+		for k, v := range w.tal.byStatus {
+			total.byStatus[k] += v
+		}
+		for i, v := range w.tal.buckets {
+			total.buckets[i] += v
+		}
+	}
+
+	sum := Summary{
+		Duration:   elapsed.Seconds(),
+		Sent:       total.sent,
+		Errors:     total.errors,
+		ReqS:       float64(total.sent) / elapsed.Seconds(),
+		BySource:   total.bySource,
+		ByStatus:   make(map[string]int64, len(total.byStatus)),
+		P50Us:      percentile(total.buckets, total.sent, 0.50),
+		P90Us:      percentile(total.buckets, total.sent, 0.90),
+		P99Us:      percentile(total.buckets, total.sent, 0.99),
+		Duplicates: *dup,
+		Workers:    *conc,
+	}
+	if total.sent > 0 {
+		sum.MeanUs = float64(total.sumUs) / float64(total.sent)
+	}
+	for k, v := range total.byStatus {
+		sum.ByStatus[fmt.Sprintf("%d", k)] = v
+	}
+
+	if *jsonOut {
+		data, err := json.Marshal(sum)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("loadgen: %d requests in %.1fs = %.0f req/s (%d errors)\n",
+			sum.Sent, sum.Duration, sum.ReqS, sum.Errors)
+		fmt.Printf("  sources: %v\n", sum.BySource)
+		fmt.Printf("  status:  %v\n", sum.ByStatus)
+		fmt.Printf("  latency: mean %.0fus p50 %dus p90 %dus p99 %dus\n",
+			sum.MeanUs, sum.P50Us, sum.P90Us, sum.P99Us)
+	}
+	if total.sent == 0 || total.errors > total.sent/10 {
+		fmt.Fprintln(os.Stderr, "loadgen: too many transport errors (is the daemon up?)")
+		os.Exit(1)
+	}
+}

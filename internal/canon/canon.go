@@ -1,0 +1,119 @@
+// Package canon computes the canonical-form hash of a one-shot v1
+// serving request: a SHA-256 over a normalized binary encoding of every
+// field that can influence the response bytes, so that semantically
+// identical requests — however their JSON was spelled — hash equal, and
+// requests that could produce different responses hash apart.
+//
+// The hash is the dedup key of the serving layer's response cache
+// (internal/rcache) and in-flight request coalescer (internal/coalesce):
+// hash-equal requests are interchangeable, because the serving pipeline
+// is a deterministic function of exactly the hashed fields. The
+// normalizations applied are precisely the ones the computation itself
+// applies when it decodes a request, no more:
+//
+//   - Coefficient arrays are normalized with poly.New — trailing
+//     coefficients that are zero or negligible relative to the array's
+//     largest magnitude are trimmed — because that is what systemFrom
+//     feeds the algorithms. [1, 2, 0] and [1, 2] are the same motion.
+//   - Remaining coefficients are hashed by their exact IEEE-754 bit
+//     pattern (so 1, 1.0, and 1e0 coincide after JSON decoding, while
+//     -0.0 stays distinct from +0.0 — the sign can surface in printed
+//     rational functions, so merging them would be unsound).
+//   - The topology and worker count are hashed in resolved form (the
+//     caller supplies the post-default values), since both appear in
+//     the response envelope.
+//   - JSON field order, whitespace, and number spelling never reach the
+//     hash at all: hashing happens on the decoded api.Request.
+//
+// Everything else that can steer the response — origin, farthest, dims,
+// the PEs floor, trace and cost-depth, the deadline — is hashed
+// verbatim. Fault-injected requests are not canonicalized: they bypass
+// caching entirely (Key reports them uncacheable), because their cost
+// accounting depends on the injected schedule, not only the system.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"dyncg/internal/api"
+	"dyncg/internal/poly"
+)
+
+// version is the canonical-encoding version, hashed first so an
+// encoding change can never collide with keys from an older layout.
+const version = "dyncg-canon-v1"
+
+// Key returns the canonical-form SHA-256 (hex) of a one-shot request
+// and whether the request is cacheable at all. algorithm is the URL
+// path element; topology and workers are the server-resolved values
+// (defaults applied), since both are echoed in the response envelope.
+// A request with a fault spec is uncacheable: its response depends on
+// the injected schedule and its accounting on the recovery harness.
+func Key(algorithm, topology string, workers int, req *api.Request) (string, bool) {
+	if req.Options.Faults != "" {
+		return "", false
+	}
+	h := sha256.New()
+	buf := make([]byte, 0, 64)
+
+	str := func(s string) {
+		buf = binary.AppendUvarint(buf[:0], uint64(len(s)))
+		h.Write(buf)
+		h.Write([]byte(s))
+	}
+	uvar := func(v uint64) {
+		buf = binary.AppendUvarint(buf[:0], v)
+		h.Write(buf)
+	}
+	ivar := func(v int64) {
+		buf = binary.AppendVarint(buf[:0], v)
+		h.Write(buf)
+	}
+	f64 := func(f float64) {
+		buf = binary.LittleEndian.AppendUint64(buf[:0], math.Float64bits(f))
+		h.Write(buf)
+	}
+	boolb := func(b bool) {
+		v := byte(0)
+		if b {
+			v = 1
+		}
+		h.Write([]byte{v})
+	}
+
+	str(version)
+	uvar(uint64(req.V))
+	str(algorithm)
+	str(topology)
+	ivar(int64(workers))
+	ivar(int64(req.Options.PEs))
+	boolb(req.Options.Trace)
+	ivar(int64(req.Options.CostDepth))
+	ivar(req.Options.DeadlineMs)
+	ivar(int64(req.Origin))
+	boolb(req.Farthest)
+
+	uvar(uint64(len(req.Dims)))
+	for _, d := range req.Dims {
+		f64(d)
+	}
+
+	uvar(uint64(len(req.System)))
+	for _, coords := range req.System {
+		uvar(uint64(len(coords)))
+		for _, cf := range coords {
+			// The same normalization systemFrom applies: the algorithms
+			// never see the trimmed coefficients, so neither does the key.
+			p := poly.New(cf...)
+			uvar(uint64(len(p)))
+			for _, c := range p {
+				f64(c)
+			}
+		}
+	}
+
+	return hex.EncodeToString(h.Sum(nil)), true
+}

@@ -1,0 +1,130 @@
+// Package rcache is the serving layer's response cache: a bounded-bytes
+// LRU from canonical request hashes (internal/canon) to exact wire
+// response bytes. Storing the bytes — not the decoded response — is
+// what keeps the replay log honest: a cache hit serves the same bytes
+// the original computation wrote, so hash-chained replay records are
+// byte-identical whether a response was computed, coalesced, or cached,
+// and `dyncgd replay` verifies a cached-serving trace exactly like an
+// uncached one.
+//
+// The bound is in bytes (keys + values), not entries, because response
+// sizes span three orders of magnitude (a steady neighbour is ~300
+// bytes; a traced 64k-point hull is megabytes). Eviction is strict LRU.
+// An entry larger than the whole cache is rejected rather than evicting
+// everything for one un-reusable response.
+package rcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      int64 // Get found the key
+	Misses    int64 // Get did not find the key
+	Evictions int64 // entries removed to make room
+	Bytes     int64 // current resident bytes (keys + values)
+	Entries   int   // current resident entries
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is a bounded-bytes LRU of wire response bytes, safe for
+// concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List               // front = most recent
+	items     map[string]*list.Element // key → element holding *entry
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns a cache bounded to maxBytes of resident keys + values.
+// maxBytes <= 0 returns a nil cache, on which every method is a
+// well-defined no-op (Get always misses) — callers can wire "cache
+// disabled" without a branch.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key and whether it was present,
+// marking the entry most-recently-used. The returned slice is the
+// cached backing array: callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts (or refreshes) key → val, evicting least-recently-used
+// entries until the byte bound holds. Oversized values (alone bigger
+// than the bound) are rejected. The cache keeps a reference to val;
+// callers must not modify it after Put.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	size := int64(len(key) + len(val))
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.key) + len(e.val))
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   c.ll.Len(),
+	}
+}

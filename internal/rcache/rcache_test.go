@@ -1,0 +1,124 @@
+package rcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 10)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	c.Put("a", []byte("alpha-2"))
+	got, _ = c.Get("a")
+	if string(got) != "alpha-2" {
+		t.Fatalf("refresh lost: %q", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if want := int64(len("a") + len("alpha-2")); st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Each entry is 1-byte key + 9-byte value = 10 bytes; bound of 25
+	// holds two.
+	c := New(25)
+	val := func(s string) []byte { return []byte(s + "12345678") }
+	c.Put("a", val("a"))
+	c.Put("b", val("b"))
+	c.Get("a") // a is now most recent
+	c.Put("c", val("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 25 {
+		t.Errorf("bytes = %d exceeds bound 25", st.Bytes)
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := New(16)
+	c.Put("big", make([]byte, 64))
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized entry was cached")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Evictions != 0 {
+		t.Errorf("oversized Put disturbed the cache: %+v", st)
+	}
+}
+
+func TestRefreshResize(t *testing.T) {
+	c := New(100)
+	c.Put("k", make([]byte, 20))
+	c.Put("k", make([]byte, 50))
+	if st := c.Stats(); st.Bytes != int64(1+50) {
+		t.Errorf("bytes after refresh = %d, want %d", st.Bytes, 1+50)
+	}
+	// Growing a resident entry past the bound must evict others.
+	c.Put("x", make([]byte, 40))
+	c.Put("k", make([]byte, 90))
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Errorf("bytes = %d exceeds bound", st.Bytes)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Error("refreshed entry evicted instead of the older one")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache = New(0)
+	if c != nil {
+		t.Fatal("New(0) should return nil (disabled)")
+	}
+	c.Put("a", []byte("x")) // must not panic
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty cached value")
+				}
+				c.Put(k, []byte(k+"-value"))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 1<<12 {
+		t.Errorf("bytes = %d exceeds bound", st.Bytes)
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"dyncg/internal/api"
+	"dyncg/internal/replaylog"
+	"dyncg/internal/shard"
+)
+
+// Router fans one HTTP surface across N in-process server shards, each
+// with its own machine pool, admission window, response cache, and
+// coalescing group — erasing the single pool mutex (and single
+// admission queue) from the hot path. Requests are routed by
+// consistent hash (internal/shard):
+//
+//   - POST /v1/{algorithm} routes by the request's machine size class
+//     (topology, point count, max degree, PEs floor, workers), so
+//     identical requests always meet in the same shard — which is what
+//     makes per-shard coalescing and caching effective — and requests
+//     sharing a size class reuse the same shard's warm pool.
+//   - Session requests route by session ID. Creation is round-robin;
+//     each shard's registry mints IDs that consistent-hash back to it
+//     (session.Registry.SetIDCheck), so every follow-up request lands
+//     on the shard holding the session's pinned machine.
+//
+// All shards share the Config's replay log: records interleave in
+// arrival order on one hash chain, exactly as a single server's
+// concurrent requests do. /metrics serves the merged exposition
+// (counters summed across shards, queue depths per shard). A Router
+// over one shard routes nothing and behaves like the Server it wraps.
+type Router struct {
+	shards  []*Server
+	ring    *shard.Ring
+	mux     *http.ServeMux
+	next    atomic.Uint64 // round-robin cursor for session creation
+	rlog    *replaylog.Log
+	maxBody int64
+}
+
+// NewRouter constructs n shards from the config (each gets the full
+// admission window, pool capacity, and cache budget — bounds are
+// per-shard) and the routing surface over them.
+func NewRouter(n int, cfg Config) *Router {
+	if n < 1 {
+		n = 1
+	}
+	rt := &Router{
+		ring: shard.New(n, 0),
+		mux:  http.NewServeMux(),
+		rlog: cfg.ReplayLog,
+	}
+	for i := 0; i < n; i++ {
+		srv := New(cfg)
+		idx := i
+		srv.sessions.SetIDCheck(func(id string) bool { return rt.ring.Lookup(id) == idx })
+		rt.shards = append(rt.shards, srv)
+	}
+	rt.maxBody = rt.shards[0].cfg.MaxBody
+	rt.mux.HandleFunc("POST /v1/{algorithm}", rt.routeAlgorithm)
+	rt.mux.HandleFunc("POST /v1/sessions", rt.routeSessionCreate)
+	rt.mux.HandleFunc("POST /v1/sessions/{id}/update", rt.routeSessionByID)
+	rt.mux.HandleFunc("GET /v1/sessions/{id}/query", rt.routeSessionByID)
+	rt.mux.HandleFunc("DELETE /v1/sessions/{id}", rt.routeSessionByID)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Shards returns the shard servers (exposed for tests and metrics).
+func (rt *Router) Shards() []*Server { return rt.shards }
+
+// SetDraining flips drain mode on every shard.
+func (rt *Router) SetDraining(v bool) {
+	for _, s := range rt.shards {
+		s.SetDraining(v)
+	}
+}
+
+// InFlight returns the number of executing requests across all shards.
+func (rt *Router) InFlight() int {
+	n := 0
+	for _, s := range rt.shards {
+		n += s.InFlight()
+	}
+	return n
+}
+
+// classKey is the routing key of a one-shot request: a deterministic
+// digest of the machine size class it will occupy. Identical requests
+// agree on it trivially (the coalescing requirement); requests that
+// differ only in coefficients or query fields share it, keeping a
+// working set's machine classes warm in as few shards as possible.
+func classKey(req *api.Request) string {
+	n := len(req.System)
+	k := 0
+	for _, pt := range req.System {
+		for _, cf := range pt {
+			if len(cf) > k {
+				k = len(cf)
+			}
+		}
+	}
+	return fmt.Sprintf("%s|%d|%d|%d|%d", req.Options.Topology, n, k, req.Options.PEs, req.Options.Workers)
+}
+
+// routeAlgorithm reads and decodes the body once, picks the shard by
+// size-class hash, and hands the shard the predecoded request via the
+// context. Bodies that fail to read or parse route to shard 0, which
+// reproduces the decode failure byte-for-byte (the error never depends
+// on shard state).
+func (rt *Router) routeAlgorithm(w http.ResponseWriter, r *http.Request) {
+	pd := &predecoded{}
+	r.Body = http.MaxBytesReader(w, r.Body, rt.maxBody)
+	raw, err := io.ReadAll(r.Body)
+	pd.raw = raw
+	idx := 0
+	if err != nil {
+		pd.status = http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			pd.status = http.StatusRequestEntityTooLarge
+		}
+		pd.err = fmt.Errorf("server: decoding request: %w", err)
+	} else {
+		var req api.Request
+		if uerr := json.Unmarshal(raw, &req); uerr != nil {
+			pd.status = http.StatusBadRequest
+			pd.err = fmt.Errorf("server: decoding request: %w", uerr)
+		} else {
+			pd.req = &req
+			idx = rt.ring.Lookup(classKey(&req))
+		}
+	}
+	ctx := context.WithValue(r.Context(), predecodedKey{}, pd)
+	rt.shards[idx].mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// routeSessionCreate places new sessions round-robin; the chosen
+// shard's registry mints an ID that hashes back to it.
+func (rt *Router) routeSessionCreate(w http.ResponseWriter, r *http.Request) {
+	idx := int(rt.next.Add(1)-1) % len(rt.shards)
+	rt.shards[idx].mux.ServeHTTP(w, r)
+}
+
+// routeSessionByID routes update/query/delete to the shard owning the
+// session ID. Unknown IDs still route deterministically, and the owning
+// shard's registry reports no_session.
+func (rt *Router) routeSessionByID(w http.ResponseWriter, r *http.Request) {
+	rt.shards[rt.ring.Lookup(r.PathValue("id"))].mux.ServeHTTP(w, r)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Draining flips on every shard together; shard 0 speaks for all.
+	rt.shards[0].handleHealthz(w, r)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	for _, s := range rt.shards {
+		s.sessions.Sweep()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeAllMetrics(w, rt.shards, rt.rlog)
+}

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dyncg/internal/api"
+	"dyncg/internal/canon"
+)
+
+// routerDo sends one request through a router and returns the recorder.
+func routerDo(t *testing.T, rt *Router, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, path, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, r)
+	return w
+}
+
+// TestRouterMatchesSingleServer: every endpoint served through a
+// 3-shard router returns bytes identical to a single fresh server —
+// sharding must be invisible on the wire.
+func TestRouterMatchesSingleServer(t *testing.T) {
+	for name, req := range endpointCases(t) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fresh router and server per case: the request is then the first
+		// of its machine class on both sides, so pool info matches.
+		rt := NewRouter(3, Config{})
+		single := postRec(t, New(Config{}).Handler(), name, body)
+		routed := routerDo(t, rt, http.MethodPost, "/v1/"+name, body)
+		if routed.Code != single.Code {
+			t.Errorf("%s: routed status %d, single %d", name, routed.Code, single.Code)
+			continue
+		}
+		if !bytes.Equal(routed.Body.Bytes(), single.Body.Bytes()) {
+			t.Errorf("%s: routed bytes differ from single server:\n  %s\n  %s",
+				name, routed.Body, single.Body)
+		}
+	}
+}
+
+// TestRouterRoutingDeterminism: identical requests always land on the
+// same shard — observable as a cache hit on the repeat, which can only
+// happen if both visits reached the shard holding the entry.
+func TestRouterRoutingDeterminism(t *testing.T) {
+	algo, body := benchRequest(t)
+	rt := NewRouter(4, Config{CacheBytes: 1 << 20})
+	first := routerDo(t, rt, http.MethodPost, "/v1/"+algo, body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first: status %d: %s", first.Code, first.Body.String())
+	}
+	second := routerDo(t, rt, http.MethodPost, "/v1/"+algo, body)
+	if got := second.Header().Get("X-Dyncg-Source"); got != "cache" {
+		t.Fatalf("repeat request missed the cache (source %q): inconsistent routing", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cached routed response differs")
+	}
+	// Exactly one shard saw traffic: one miss then one hit, fleet-wide.
+	var hits, misses int64
+	for _, s := range rt.Shards() {
+		st := s.RCacheStats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if hits != 1 || misses != 1 {
+		t.Errorf("fleet rcache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestRouterSessionLifecycle: sessions created through the router are
+// reachable for update/query/delete — the minted IDs hash back to the
+// owning shard.
+func TestRouterSessionLifecycle(t *testing.T) {
+	rt := NewRouter(3, Config{})
+	create := []byte(`{"v":1,"algorithm":"closest-point-sequence","origin":0,` +
+		`"system":[[[0,1],[0]],[[10,-1],[1]],[[3],[4]],[[5,2],[1]]]}`)
+
+	type sessResp struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+	}
+	var ids []string
+	for i := 0; i < 9; i++ {
+		w := routerDo(t, rt, http.MethodPost, "/v1/sessions", create)
+		if w.Code != http.StatusOK {
+			t.Fatalf("create %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		var sr sessResp
+		if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil || sr.Session.ID == "" {
+			t.Fatalf("create %d: bad response %s", i, w.Body.String())
+		}
+		ids = append(ids, sr.Session.ID)
+	}
+
+	// Round-robin creation spreads sessions across all shards; every
+	// shard's registry must only hold IDs that hash back to it.
+	perShard := make([]int, 3)
+	for _, id := range ids {
+		perShard[rt.ring.Lookup(id)]++
+	}
+	for i, s := range rt.Shards() {
+		if s.sessions.Len() != perShard[i] {
+			t.Errorf("shard %d holds %d sessions, ring says %d", i, s.sessions.Len(), perShard[i])
+		}
+	}
+
+	for _, id := range ids {
+		w := routerDo(t, rt, http.MethodGet, "/v1/sessions/"+id+"/query", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("query %s: status %d: %s", id, w.Code, w.Body.String())
+		}
+		upd := []byte(`{"v":1,"deltas":[{"op":"retarget","id":1,"point":[[7,1],[2]]}]}`)
+		w = routerDo(t, rt, http.MethodPost, "/v1/sessions/"+id+"/update", upd)
+		if w.Code != http.StatusOK {
+			t.Fatalf("update %s: status %d: %s", id, w.Code, w.Body.String())
+		}
+		w = routerDo(t, rt, http.MethodDelete, "/v1/sessions/"+id, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("delete %s: status %d: %s", id, w.Code, w.Body.String())
+		}
+	}
+	for i, s := range rt.Shards() {
+		if s.sessions.Len() != 0 {
+			t.Errorf("shard %d still holds %d sessions after deletes", i, s.sessions.Len())
+		}
+	}
+}
+
+// TestRouterUnknownSession: a made-up ID routes deterministically and
+// reports no_session, matching single-server behavior.
+func TestRouterUnknownSession(t *testing.T) {
+	rt := NewRouter(3, Config{})
+	w := routerDo(t, rt, http.MethodGet, "/v1/sessions/s-99-deadbeef/query", nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", w.Code, w.Body.String())
+	}
+	if e := decodeErr(t, w.Body.Bytes()); e.Code != "no_session" {
+		t.Errorf("code %q, want no_session", e.Code)
+	}
+}
+
+// TestRouterDecodeErrors: malformed and oversized bodies produce the
+// same envelopes through the router as through a single server.
+func TestRouterDecodeErrors(t *testing.T) {
+	cfg := Config{MaxBody: 256}
+	rt := NewRouter(3, cfg)
+	single := New(cfg)
+
+	cases := map[string][]byte{
+		"malformed": []byte(`{"v":1,`),
+		"oversized": []byte(fmt.Sprintf(`{"v":1,"system":[%s]}`, strings.Repeat("1,", 400))),
+	}
+	wantStatus := map[string]int{
+		"malformed": http.StatusBadRequest,
+		"oversized": http.StatusRequestEntityTooLarge,
+	}
+	for name, body := range cases {
+		routed := routerDo(t, rt, http.MethodPost, "/v1/steady-hull", body)
+		ref := postRec(t, single.Handler(), "steady-hull", body)
+		if routed.Code != wantStatus[name] {
+			t.Errorf("%s: routed status %d, want %d", name, routed.Code, wantStatus[name])
+		}
+		if routed.Code != ref.Code || !bytes.Equal(routed.Body.Bytes(), ref.Body.Bytes()) {
+			t.Errorf("%s: routed error differs from single server:\n  %d %s\n  %d %s",
+				name, routed.Code, routed.Body, ref.Code, ref.Body)
+		}
+	}
+}
+
+// TestRouterUnknownAlgorithm: an unknown algorithm name decodes fine,
+// routes by class, and gets the shard's 404 envelope.
+func TestRouterUnknownAlgorithm(t *testing.T) {
+	rt := NewRouter(3, Config{})
+	req := endpointCases(t)["steady-hull"]
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := routerDo(t, rt, http.MethodPost, "/v1/no-such-algorithm", body)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", w.Code, w.Body.String())
+	}
+	if e := decodeErr(t, w.Body.Bytes()); e.Code != "unknown_algorithm" {
+		t.Errorf("code %q, want unknown_algorithm", e.Code)
+	}
+}
+
+// TestRouterMergedMetrics: /metrics reports one merged exposition with
+// per-shard queue depths and fleet-summed front-door counters.
+func TestRouterMergedMetrics(t *testing.T) {
+	algo, body := benchRequest(t)
+	rt := NewRouter(3, Config{CacheBytes: 1 << 20})
+	routerDo(t, rt, http.MethodPost, "/v1/"+algo, body)
+	routerDo(t, rt, http.MethodPost, "/v1/"+algo, body) // cache hit on same shard
+
+	w := routerDo(t, rt, http.MethodGet, "/metrics", nil)
+	out := w.Body.String()
+	for _, want := range []string{
+		`dyncgd_requests_total{algorithm="steady-hull",code="200"} 2`,
+		`dyncgd_shard_queue_depth{shard="0"} 0`,
+		`dyncgd_shard_queue_depth{shard="1"} 0`,
+		`dyncgd_shard_queue_depth{shard="2"} 0`,
+		"dyncg_rcache_hits_total 1",
+		"dyncg_rcache_misses_total 1",
+		"dyncgd_pool_idle_pes 64",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged metrics missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "# TYPE dyncgd_requests_total counter"); n != 1 {
+		t.Errorf("dyncgd_requests_total TYPE line appears %d times, want 1 (merged exposition)", n)
+	}
+}
+
+// TestRouterHealthz: health and drain flow through the router.
+func TestRouterHealthz(t *testing.T) {
+	rt := NewRouter(2, Config{})
+	if w := routerDo(t, rt, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", w.Code)
+	}
+	rt.SetDraining(true)
+	if w := routerDo(t, rt, http.MethodGet, "/healthz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d", w.Code)
+	}
+	algo, body := benchRequest(t)
+	if w := routerDo(t, rt, http.MethodPost, "/v1/"+algo, body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining request: status %d", w.Code)
+	}
+	rt.SetDraining(false)
+	if w := routerDo(t, rt, http.MethodPost, "/v1/"+algo, body); w.Code != http.StatusOK {
+		t.Fatalf("post-drain request: status %d", w.Code)
+	}
+	if rt.InFlight() != 0 {
+		t.Errorf("InFlight = %d at rest", rt.InFlight())
+	}
+}
+
+// TestCanonHashEqualImpliesSameResponse is the canon property test at
+// the serving layer: requests whose canonical keys agree receive
+// byte-identical responses from independent fresh servers.
+func TestCanonHashEqualImpliesSameResponse(t *testing.T) {
+	// Pairs of distinct spellings of one request.
+	pairs := [][2][]byte{
+		{
+			[]byte(`{"v":1,"system":[[[0,1],[0]],[[10,-1],[1]],[[3],[4]],[[5,2],[1]]],"origin":1}`),
+			[]byte(`{"origin":1,"v":1,"system":[[[0,1,0],[0,0,0]],[[10,-1],[1,0]],[[3,0],[4]],[[5,2],[1]]]}`),
+		},
+		{
+			[]byte(`{"v":1,"system":[[[2],[3]],[[4],[5]],[[6],[7]],[[8],[9]]],"dims":[40,40]}`),
+			[]byte(`{"v":1,"dims":[4e1,40.0],"system":[[[2.0],[3]],[[4],[5,0]],[[6],[7]],[[8],[9]]]}`),
+		},
+	}
+	algos := []string{"closest-point-sequence", "containment-intervals"}
+	for i, pair := range pairs {
+		var keys [2]string
+		var bodies [2][]byte
+		for j, raw := range pair {
+			var req api.Request
+			if err := json.Unmarshal(raw, &req); err != nil {
+				t.Fatalf("pair %d[%d]: %v", i, j, err)
+			}
+			// Topology and workers are server-resolved inputs; any fixed
+			// values expose the property under test (key equality across
+			// spellings of one system).
+			k, ok := canon.Key(algos[i], "hypercube", 1, &req)
+			if !ok {
+				t.Fatalf("pair %d[%d]: uncacheable", i, j)
+			}
+			keys[j] = k
+			rec := postRec(t, New(Config{}).Handler(), algos[i], raw)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("pair %d[%d]: status %d: %s", i, j, rec.Code, rec.Body.String())
+			}
+			bodies[j] = rec.Body.Bytes()
+		}
+		if keys[0] != keys[1] {
+			t.Errorf("pair %d: canonical keys differ:\n  %s\n  %s", i, keys[0], keys[1])
+		}
+		if !bytes.Equal(bodies[0], bodies[1]) {
+			t.Errorf("pair %d: hash-equal requests got different bytes:\n  %s\n  %s",
+				i, bodies[0], bodies[1])
+		}
+	}
+}

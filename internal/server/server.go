@@ -14,16 +14,28 @@ import (
 	"time"
 
 	"dyncg/internal/api"
+	"dyncg/internal/canon"
+	"dyncg/internal/coalesce"
 	"dyncg/internal/fault"
 	"dyncg/internal/machine"
 	"dyncg/internal/motion"
+	"dyncg/internal/rcache"
 	"dyncg/internal/replaylog"
 	"dyncg/internal/session"
 	"dyncg/internal/topo"
 	"dyncg/internal/trace"
 )
 
-// Config configures a Server. The zero value gets sensible defaults.
+// DefaultCacheBytes is the response-cache bound the daemon uses when
+// caching is enabled without an explicit size (dyncgd -rcache-bytes).
+// Replay of a trace recorded with caching enabled must run with the
+// same bound, so the default is a named constant both sides share.
+const DefaultCacheBytes = 32 << 20
+
+// Config configures a Server. The zero value gets sensible defaults —
+// with the front door (response cache and request coalescing) disabled:
+// both change which requests perform simulated work, so they are strict
+// opt-ins and every pre-existing Config keeps its meaning.
 type Config struct {
 	// PoolCap is the maximum number of idle machines retained across all
 	// size classes (0 = 32; negative disables pooling entirely).
@@ -53,6 +65,19 @@ type Config struct {
 	// machines to the pool (0 = 15m; negative disables eviction). Expiry
 	// is swept lazily from the serving paths — no janitor goroutine.
 	SessionTTL time.Duration
+	// CacheBytes, when positive, enables the response cache: a
+	// bounded-bytes LRU (internal/rcache) of exact wire response bytes
+	// keyed by the canonical request hash (internal/canon). Cached
+	// responses are served without admission or simulated work and are
+	// byte-identical to the original computation, so replay logs stay
+	// verifiable — provided replay runs with the same cache
+	// configuration. 0 disables caching.
+	CacheBytes int64
+	// Coalesce, when true, merges identical in-flight one-shot requests
+	// (equal canonical hashes) into a single pool computation whose
+	// response bytes fan out to every merged caller (internal/coalesce).
+	// Sessions and fault-injected requests are never coalesced.
+	Coalesce bool
 	// Logger receives one structured record per request (nil = discard).
 	Logger *slog.Logger
 	// ReplayLog, when non-nil, records every served /v1/* request and
@@ -79,6 +104,8 @@ type Server struct {
 	mux      *http.ServeMux
 	sessions *session.Registry
 	sessMet  *sessionMetrics
+	rc       *rcache.Cache             // nil when caching is disabled
+	cg       *coalesce.Group[*outcome] // nil when coalescing is disabled
 
 	hookAdmitted func() // test seam: runs after admission, before machine checkout
 	hookRunning  func() // test seam: runs after machine checkout, before the algorithm
@@ -123,6 +150,10 @@ func New(cfg Config) *Server {
 		log:   log,
 		rlog:  cfg.ReplayLog,
 		mux:   http.NewServeMux(),
+		rc:    rcache.New(cfg.CacheBytes),
+	}
+	if cfg.Coalesce {
+		s.cg = coalesce.New[*outcome]()
 	}
 	s.sessMet = newSessionMetrics()
 	s.sessions = session.NewRegistry(cfg.MaxSessions, cfg.SessionTTL, s.releaseSession)
@@ -144,6 +175,19 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // Metrics returns the request-metrics registry.
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// RCacheStats returns a snapshot of the response-cache counters (all
+// zero when caching is disabled).
+func (s *Server) RCacheStats() rcache.Stats { return s.rc.Stats() }
+
+// CoalesceMerged returns how many requests were merged into another
+// caller's in-flight computation (0 when coalescing is disabled).
+func (s *Server) CoalesceMerged() int64 {
+	if s.cg == nil {
+		return 0
+	}
+	return s.cg.Merged()
+}
 
 // SetDraining flips drain mode: /healthz turns 503 and new algorithm
 // requests are rejected, while admitted requests run to completion.
@@ -210,6 +254,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// newline is written separately after shared response bytes: appending
+// to a cached/coalesced body would race on its backing array.
+var newline = []byte("\n")
+
+// The values of the X-Dyncg-Source response header: how the algorithm
+// response was produced.
+const (
+	sourceComputed  = "computed"  // this request ran the computation
+	sourceCoalesced = "coalesced" // merged into another caller's in-flight computation
+	sourceCache     = "cache"     // served from the response cache
+)
+
 // finish writes the response and, when the computation log is enabled,
 // appends one replay record for the request. The disabled path is the
 // plain writeJSON hot path behind a single nil-check; the enabled path
@@ -229,6 +285,25 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, status int, out 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))
+	s.record(r, status, body, raw, meta)
+}
+
+// finishBytes is finish for responses that already exist as wire bytes
+// (cache hits and coalesced fan-outs): write body + newline and record
+// body. The bytes are shared across callers and must not be mutated.
+func (s *Server) finishBytes(w http.ResponseWriter, r *http.Request, status int, body, raw []byte, meta api.ReplayMeta) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write(newline)
+	if s.rlog == nil {
+		return
+	}
+	s.record(r, status, body, raw, meta)
+}
+
+// record appends one replay record (caller has checked s.rlog != nil).
+func (s *Server) record(r *http.Request, status int, body, raw []byte, meta api.ReplayMeta) {
 	rec := api.ReplayRecord{
 		Method:   r.Method,
 		Path:     r.URL.RequestURI(),
@@ -262,86 +337,133 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.sessions.Sweep() // lazy TTL eviction rides the scrape path
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.Write(w)
-	s.sessMet.write(w, s.sessions)
-	ps := s.pool.Stats()
-	fmt.Fprintf(w, "# TYPE dyncgd_pool_checkouts_total counter\n")
-	fmt.Fprintf(w, "dyncgd_pool_checkouts_total{result=\"hit\"} %d\n", ps.Hits)
-	fmt.Fprintf(w, "dyncgd_pool_checkouts_total{result=\"miss\"} %d\n", ps.Misses)
-	fmt.Fprintf(w, "# TYPE dyncgd_pool_evictions_total counter\n")
-	fmt.Fprintf(w, "dyncgd_pool_evictions_total %d\n", ps.Evictions)
-	fmt.Fprintf(w, "# TYPE dyncgd_pool_idle gauge\n")
-	fmt.Fprintf(w, "dyncgd_pool_idle %d\n", ps.Idle)
-	fmt.Fprintf(w, "# TYPE dyncgd_inflight gauge\n")
-	fmt.Fprintf(w, "dyncgd_inflight %d\n", len(s.sem))
-	fmt.Fprintf(w, "# TYPE dyncgd_queue_depth gauge\n")
-	fmt.Fprintf(w, "dyncgd_queue_depth %d\n", len(s.queue)-len(s.sem))
-	fmt.Fprintf(w, "# TYPE dyncgd_draining gauge\n")
-	d := 0
-	if s.draining.Load() {
-		d = 1
-	}
-	fmt.Fprintf(w, "dyncgd_draining %d\n", d)
-	if s.rlog != nil {
-		rs := s.rlog.Stats()
-		fmt.Fprintf(w, "# TYPE dyncg_replaylog_records_total counter\n")
-		fmt.Fprintf(w, "dyncg_replaylog_records_total %d\n", rs.Records)
-		fmt.Fprintf(w, "# TYPE dyncg_replaylog_bytes_total counter\n")
-		fmt.Fprintf(w, "dyncg_replaylog_bytes_total %d\n", rs.Bytes)
-		fmt.Fprintf(w, "# TYPE dyncg_replaylog_segments_total counter\n")
-		fmt.Fprintf(w, "dyncg_replaylog_segments_total %d\n", rs.Segments)
-		fmt.Fprintf(w, "# TYPE dyncg_replaylog_append_errors_total counter\n")
-		fmt.Fprintf(w, "dyncg_replaylog_append_errors_total %d\n", rs.Errors)
-	}
+	writeAllMetrics(w, []*Server{s}, s.rlog)
 }
 
-// handleAlgorithm serves POST /v1/<algorithm>: decode, validate, admit,
-// check out (or construct) a machine, run, convert, respond.
+// predecoded carries a /v1/{algorithm} body already read and decoded by
+// the shard Router, so the owning shard does not re-read or re-parse
+// it. err, when non-nil, is the decode failure the shard must reproduce
+// (with the recorded status) so routed and unrouted serving emit
+// byte-identical error envelopes.
+type predecoded struct {
+	raw    []byte
+	req    *api.Request
+	status int
+	err    error
+}
+
+type predecodedKey struct{}
+
+func predecodedFrom(ctx context.Context) *predecoded {
+	pd, _ := ctx.Value(predecodedKey{}).(*predecoded)
+	return pd
+}
+
+// outcome is the complete result of serving one algorithm request: the
+// HTTP status, the response envelope (out) or its exact wire bytes
+// (body, without the trailing newline), and the metadata the replay
+// record and the structured log want. Outcomes produced behind the
+// front door are marshalled once and shared across coalesced callers.
+type outcome struct {
+	status    int
+	out       any
+	body      []byte
+	mi        api.MachineInfo
+	pi        api.PoolInfo
+	sim       int64
+	errMsg    string
+	faultSeed int64
+}
+
+func errOutcome(st int, code string, err error) *outcome {
+	return &outcome{status: st, out: apiError(code, err), errMsg: err.Error()}
+}
+
+// marshal fills o.body from o.out. Marshal cannot fail for the
+// envelope types this package produces; the fallback degrades to an
+// internal-error envelope rather than panicking on a future payload
+// that breaks the invariant.
+func (o *outcome) marshal() {
+	if o.body != nil {
+		return
+	}
+	b, err := json.Marshal(o.out)
+	if err != nil {
+		e := apiError("internal", fmt.Errorf("server: encoding response: %w", err))
+		o.status, o.out, o.errMsg = http.StatusInternalServerError, e, err.Error()
+		b, _ = json.Marshal(e)
+	}
+	o.body = b
+}
+
+// algRequest is one decoded, validated, fully resolved one-shot
+// request — everything compute needs, independent of the HTTP layer.
+type algRequest struct {
+	name        string
+	alg         algorithm
+	req         *api.Request
+	tp          topo.Topology
+	spec        fault.Spec
+	sys         *motion.System
+	workers     int // resolved pool-key worker count (≥ 1)
+	infoWorkers int // reported worker count (0 when serial)
+	need        int // PEs the theorem prescribes (pre-rounding)
+	classSize   int // constructed machine size (post-rounding)
+}
+
+// handleAlgorithm serves POST /v1/<algorithm>: decode, validate, then
+// either serve from the response cache, join an identical in-flight
+// computation, or compute (admit, check out a machine, run, convert).
+// Every response carries X-Dyncg-Source: computed|coalesced|cache.
 func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	name := r.PathValue("algorithm")
 
 	var (
-		status    int
-		out       any
-		mi        api.MachineInfo
-		pi        api.PoolInfo
-		sysN      int
-		sim       int64
-		errMsg    string
-		raw       []byte
-		faultSeed int64
+		o      *outcome
+		raw    []byte
+		sysN   int
+		source = sourceComputed
 	)
 	defer func() {
-		s.finish(w, r, status, out, raw, api.ReplayMeta{
-			Topology:  mi.Topology,
-			PEs:       mi.PEs,
-			Workers:   mi.Workers,
-			FaultSeed: faultSeed,
-		})
+		if o == nil {
+			o = errOutcome(http.StatusInternalServerError, "internal",
+				errors.New("server: request produced no outcome"))
+		}
+		w.Header().Set("X-Dyncg-Source", source)
+		meta := api.ReplayMeta{
+			Topology:  o.mi.Topology,
+			PEs:       o.mi.PEs,
+			Workers:   o.mi.Workers,
+			FaultSeed: o.faultSeed,
+		}
+		if o.body != nil {
+			s.finishBytes(w, r, o.status, o.body, raw, meta)
+		} else {
+			s.finish(w, r, o.status, o.out, raw, meta)
+		}
 		lat := time.Since(started)
-		s.met.Observe(name, status, lat)
+		s.met.Observe(name, o.status, lat)
 		lvl := slog.LevelInfo
-		if status >= http.StatusInternalServerError {
+		if o.status >= http.StatusInternalServerError {
 			lvl = slog.LevelError
 		}
 		s.log.LogAttrs(r.Context(), lvl, "request",
 			slog.String("algorithm", name),
-			slog.Int("status", status),
+			slog.Int("status", o.status),
 			slog.Duration("latency", lat),
 			slog.Int("n", sysN),
-			slog.String("topology", mi.Topology),
-			slog.Int("pes", mi.PEs),
-			slog.Int("workers", mi.Workers),
-			slog.Bool("pool_hit", pi.Hit),
-			slog.Bool("pool_bypassed", pi.Bypassed),
-			slog.Int64("sim_time", sim),
-			slog.String("error", errMsg),
+			slog.String("topology", o.mi.Topology),
+			slog.Int("pes", o.mi.PEs),
+			slog.Int("workers", o.mi.Workers),
+			slog.Bool("pool_hit", o.pi.Hit),
+			slog.Bool("pool_bypassed", o.pi.Bypassed),
+			slog.String("source", source),
+			slog.Int64("sim_time", o.sim),
+			slog.String("error", o.errMsg),
 		)
 	}()
-	fail := func(st int, code string, err error) {
-		status, out, errMsg = st, apiError(code, err), err.Error()
-	}
+	fail := func(st int, code string, err error) { o = errOutcome(st, code, err) }
 
 	alg, ok := algorithms[name]
 	if !ok {
@@ -350,22 +472,31 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
-	var rerr error
-	raw, rerr = io.ReadAll(r.Body)
-	if rerr != nil {
-		st := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(rerr, &tooBig) {
-			st = http.StatusRequestEntityTooLarge
-		}
-		fail(st, "bad_request", fmt.Errorf("server: decoding request: %w", rerr))
-		return
-	}
 	var req api.Request
-	if err := json.Unmarshal(raw, &req); err != nil {
-		fail(http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err))
-		return
+	if pd := predecodedFrom(r.Context()); pd != nil {
+		raw = pd.raw
+		if pd.err != nil {
+			fail(pd.status, "bad_request", pd.err)
+			return
+		}
+		req = *pd.req
+	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+		var rerr error
+		raw, rerr = io.ReadAll(r.Body)
+		if rerr != nil {
+			st := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(rerr, &tooBig) {
+				st = http.StatusRequestEntityTooLarge
+			}
+			fail(st, "bad_request", fmt.Errorf("server: decoding request: %w", rerr))
+			return
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			fail(http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err))
+			return
+		}
 	}
 	if req.V != api.Version {
 		fail(http.StatusBadRequest, "bad_version",
@@ -424,6 +555,19 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ar := &algRequest{
+		name:        name,
+		alg:         alg,
+		req:         &req,
+		tp:          tp,
+		spec:        spec,
+		sys:         sys,
+		workers:     workers,
+		infoWorkers: infoWorkers,
+		need:        need,
+		classSize:   classSize,
+	}
+
 	deadline := s.cfg.Deadline
 	if req.Options.DeadlineMs > 0 {
 		deadline = time.Duration(req.Options.DeadlineMs) * time.Millisecond
@@ -431,10 +575,78 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
+	// Front door: fault-free requests with an enabled cache or coalescer
+	// are keyed by their canonical hash. A cache hit serves the original
+	// computation's exact bytes with no admission and no simulated work
+	// (drain mode still rejects — a draining server takes no new
+	// requests, cheap or not). A miss either joins an identical
+	// in-flight computation or becomes its leader.
+	if (s.rc != nil || s.cg != nil) && ar.spec.Zero() {
+		if key, cacheable := canon.Key(name, string(tp), workers, &req); cacheable {
+			if !s.draining.Load() {
+				if body, ok := s.rc.Get(key); ok {
+					source = sourceCache
+					o = &outcome{
+						status: http.StatusOK,
+						body:   body,
+						mi:     api.MachineInfo{Topology: string(tp), PEs: classSize, Workers: infoWorkers},
+					}
+					return
+				}
+			}
+			if s.cg != nil {
+				var led bool
+				fl, _, derr := s.cg.Do(ctx, key, func() (*outcome, error) {
+					led = true
+					oc := s.compute(ctx, ar)
+					oc.marshal()
+					if oc.status == http.StatusOK {
+						s.rc.Put(key, oc.body)
+					}
+					return oc, nil
+				})
+				if derr != nil {
+					// This follower's deadline expired while the leader was
+					// still computing. 503 is an admission artifact: replay
+					// skips it like any other load-dependent rejection.
+					source = sourceCoalesced
+					fail(http.StatusServiceUnavailable, "coalesce_timeout",
+						fmt.Errorf("server: deadline expired waiting for coalesced computation: %w", derr))
+					return
+				}
+				if !led {
+					source = sourceCoalesced
+				}
+				o = fl
+				return
+			}
+			oc := s.compute(ctx, ar)
+			oc.marshal()
+			if oc.status == http.StatusOK {
+				s.rc.Put(key, oc.body)
+			}
+			o = oc
+			return
+		}
+	}
+
+	o = s.compute(ctx, ar)
+}
+
+// compute runs one resolved request through admission, machine
+// checkout (or the fault-recovery harness), the algorithm, and wire
+// conversion. It is the single computation a coalesced flight performs
+// on behalf of all its callers.
+func (s *Server) compute(ctx context.Context, ar *algRequest) *outcome {
+	o := &outcome{}
+	fail := func(st int, code string, err error) {
+		o.status, o.out, o.errMsg = st, apiError(code, err), err.Error()
+	}
+
 	release, st, code := s.admit(ctx)
 	if st != 0 {
 		fail(st, code, fmt.Errorf("server: request not admitted: %s", code))
-		return
+		return o
 	}
 	defer release()
 	if s.hookAdmitted != nil {
@@ -443,9 +655,10 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	if ctx.Err() != nil {
 		fail(http.StatusServiceUnavailable, "deadline_queued",
 			fmt.Errorf("server: deadline expired before execution: %w", ctx.Err()))
-		return
+		return o
 	}
 
+	name, alg, req, tp, sys := ar.name, ar.alg, ar.req, ar.tp, ar.sys
 	var (
 		stats    machine.Stats
 		freport  *api.FaultReport
@@ -454,21 +667,21 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		runErr   error
 		costTree string
 	)
-	if !spec.Zero() {
+	if !ar.spec.Zero() {
 		// Fault-injected runs bypass the pool: the recovery harness owns
 		// machine construction across its remap-and-rerun attempts.
-		pi.Bypassed = true
-		faultSeed = req.Options.FaultSeed
-		net, err := topo.NewNetwork(tp, need)
+		o.pi.Bypassed = true
+		o.faultSeed = req.Options.FaultSeed
+		net, err := topo.NewNetwork(tp, ar.need)
 		if err != nil {
 			st, code := errStatus(err)
 			fail(st, code, err)
-			return
+			return o
 		}
-		plan := fault.NewPlan(spec, req.Options.FaultSeed)
+		plan := fault.NewPlan(ar.spec, req.Options.FaultSeed)
 		var ropts []fault.RunOption
-		if workers > 1 {
-			ropts = append(ropts, fault.WithMachineOptions(machine.WithParallel(workers)))
+		if ar.workers > 1 {
+			ropts = append(ropts, fault.WithMachineOptions(machine.WithParallel(ar.workers)))
 		}
 		if req.Options.Trace {
 			// A fresh tracer per attempt; the final attempt's tree is the
@@ -483,13 +696,13 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 					name, alg.minSize(sys), fm.Size(), machine.ErrTooFewPEs)
 			}
 			var err error
-			result, err = alg.run(fm, sys, &req)
+			result, err = alg.run(fm, sys, req)
 			return err
 		}, ropts...)
 		runErr = err
 		if res != nil {
 			stats = res.Stats
-			mi = api.MachineInfo{Topology: string(tp), PEs: res.Topo.Size(), Workers: infoWorkers}
+			o.mi = api.MachineInfo{Topology: string(tp), PEs: res.Topo.Size(), Workers: ar.infoWorkers}
 			freport = &api.FaultReport{
 				Attempts:    res.Attempts,
 				Transients:  res.Transients,
@@ -498,23 +711,24 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		key := Key{Topo: string(tp), PEs: classSize, Workers: workers}
+		key := Key{Topo: string(tp), PEs: ar.classSize, Workers: ar.workers}
 		m := s.pool.Get(key)
-		pi.Hit = m != nil
+		o.pi.Hit = m != nil
 		if m == nil {
 			var mopts []topo.Option
-			if workers > 1 {
-				mopts = append(mopts, topo.WithParallel(workers))
+			if ar.workers > 1 {
+				mopts = append(mopts, topo.WithParallel(ar.workers))
 			}
-			m, err = topo.NewMachine(tp, need, mopts...)
+			var err error
+			m, err = topo.NewMachine(tp, ar.need, mopts...)
 			if err != nil {
 				st, code := errStatus(err)
 				fail(st, code, err)
-				return
+				return o
 			}
 		}
 		defer s.pool.Put(key, m)
-		mi = api.MachineInfo{Topology: string(tp), PEs: m.Size(), Workers: infoWorkers}
+		o.mi = api.MachineInfo{Topology: string(tp), PEs: m.Size(), Workers: ar.infoWorkers}
 		if alg.minSize != nil && m.Size() < alg.minSize(sys) {
 			runErr = fmt.Errorf("server: %s needs %d PEs, machine has %d: %w",
 				name, alg.minSize(sys), m.Size(), machine.ErrTooFewPEs)
@@ -525,11 +739,11 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 			if s.hookRunning != nil {
 				s.hookRunning()
 			}
-			result, runErr = alg.run(m, sys, &req)
+			result, runErr = alg.run(m, sys, req)
 			stats = m.Stats()
 		}
 	}
-	sim = stats.Time()
+	o.sim = stats.Time()
 
 	if tr != nil {
 		root := tr.Finish()
@@ -542,23 +756,24 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	if runErr != nil {
 		st, code := errStatus(runErr)
 		fail(st, code, runErr)
-		return
+		return o
 	}
 	if ctx.Err() != nil {
 		fail(http.StatusGatewayTimeout, "deadline_exceeded",
 			fmt.Errorf("server: deadline expired during execution: %w", ctx.Err()))
-		return
+		return o
 	}
 
-	status = http.StatusOK
-	out = &api.Response{
+	o.status = http.StatusOK
+	o.out = &api.Response{
 		V:         api.Version,
 		Algorithm: name,
-		Machine:   mi,
+		Machine:   o.mi,
 		Stats:     api.FromStats(stats),
-		Pool:      pi,
+		Pool:      o.pi,
 		Fault:     freport,
 		CostTree:  costTree,
 		Result:    result,
 	}
+	return o
 }

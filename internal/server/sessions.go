@@ -70,15 +70,29 @@ func (x *sessionMetrics) observeUpdate(d time.Duration) {
 	x.buckets[i]++
 }
 
-func (x *sessionMetrics) write(w io.Writer, reg *session.Registry) {
+// foldInto accumulates x's counters into dst (a scratch instance the
+// merged scrape builds per call).
+func (x *sessionMetrics) foldInto(dst *sessionMetrics) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	dst.updates += x.updates
+	dst.sumUs += x.sumUs
+	for i, v := range x.buckets {
+		dst.buckets[i] += v
+	}
+}
+
+// write emits the session-layer exposition. active and evictions come
+// from the registry (or the sum across a Router's shard registries).
+func (x *sessionMetrics) write(w io.Writer, active int, evictions uint64) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	fmt.Fprintf(w, "# TYPE dyncg_sessions_active gauge\n")
-	fmt.Fprintf(w, "dyncg_sessions_active %d\n", reg.Len())
+	fmt.Fprintf(w, "dyncg_sessions_active %d\n", active)
 	fmt.Fprintf(w, "# TYPE dyncg_session_updates_total counter\n")
 	fmt.Fprintf(w, "dyncg_session_updates_total %d\n", x.updates)
 	fmt.Fprintf(w, "# TYPE dyncg_session_evictions_total counter\n")
-	fmt.Fprintf(w, "dyncg_session_evictions_total %d\n", reg.Evictions())
+	fmt.Fprintf(w, "dyncg_session_evictions_total %d\n", evictions)
 	fmt.Fprintf(w, "# TYPE dyncg_session_update_latency_us histogram\n")
 	cum := uint64(0)
 	for i, ub := range latBuckets {

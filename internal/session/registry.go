@@ -69,11 +69,22 @@ type Registry struct {
 	release func(*Session)
 	now     func() time.Time // test seam
 
+	// idCheck, when set, is a predicate every minted session ID must
+	// satisfy; Add re-mints the random suffix until it passes. The
+	// serving layer's shard router installs "this ID consistent-hashes
+	// back to my shard", so routing a session ID always finds the shard
+	// holding its pinned machine.
+	idCheck func(string) bool
+
 	mu        sync.Mutex
 	sessions  map[string]*Session
 	seq       uint64
 	evictions atomic.Uint64
 }
+
+// SetIDCheck installs the ID predicate. Call before serving begins:
+// installation is not synchronized with concurrent Add.
+func (r *Registry) SetIDCheck(check func(string) bool) { r.idCheck = check }
 
 // NewRegistry builds a registry. max ≤ 0 means unbounded; ttl ≤ 0
 // disables idle eviction; release may be nil.
@@ -99,12 +110,25 @@ func (r *Registry) Add(eng *Engine, m *machine.M, topo string, workers int) (*Se
 		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, r.max)
 	}
 	r.seq++
-	var rnd [4]byte
-	if _, err := rand.Read(rnd[:]); err != nil {
-		return nil, fmt.Errorf("session: id generation: %w", err)
+	var id string
+	for attempt := 0; ; attempt++ {
+		var rnd [4]byte
+		if _, err := rand.Read(rnd[:]); err != nil {
+			return nil, fmt.Errorf("session: id generation: %w", err)
+		}
+		id = fmt.Sprintf("s-%d-%s", r.seq, hex.EncodeToString(rnd[:]))
+		if r.idCheck == nil || r.idCheck(id) {
+			break
+		}
+		// Each mint passes an n-shard check with probability ~1/n, so
+		// even a wide fleet converges in a handful of draws; the cap
+		// only guards against a broken predicate.
+		if attempt >= 256 {
+			return nil, fmt.Errorf("session: id minting failed the shard check after %d attempts", attempt+1)
+		}
 	}
 	s := &Session{
-		ID:      fmt.Sprintf("s-%d-%s", r.seq, hex.EncodeToString(rnd[:])),
+		ID:      id,
 		Eng:     eng,
 		M:       m,
 		Topo:    topo,

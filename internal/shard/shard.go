@@ -1,0 +1,98 @@
+// Package shard routes keys across N in-process server shards with a
+// consistent-hash ring. Each shard owns its own machine pool, admission
+// window, and coalescing group, so routing by key erases the
+// single-pool mutex from the hot path while keeping every key's
+// traffic on one shard — which is what makes per-shard coalescing and
+// caching effective (identical requests meet in the same shard) and
+// keeps a session's machine pinned where its requests land.
+//
+// The ring is the textbook construction: each shard is hashed at many
+// virtual points on a circle, a key is hashed once, and the owning
+// shard is the first virtual point clockwise. Virtual points smooth
+// the load split (with 64 points per shard the imbalance is a few
+// percent) and keep reassignment minimal when N changes: keys move
+// only onto or off the shards whose points appeared or vanished.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-point count per shard used by New
+// when replicas <= 0.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over shards 0..N-1. It is
+// safe for concurrent use (all methods are read-only after New).
+type Ring struct {
+	n      int
+	points []uint32 // sorted virtual point hashes
+	owner  []int    // owner[i] = shard owning points[i]
+}
+
+// New builds a ring over n shards with the given number of virtual
+// points per shard (replicas <= 0 selects DefaultReplicas). n must be
+// at least 1.
+func New(n, replicas int) *Ring {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: ring over %d shards", n))
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		n:      n,
+		points: make([]uint32, 0, n*replicas),
+		owner:  make([]int, 0, n*replicas),
+	}
+	type vp struct {
+		h     uint32
+		shard int
+	}
+	vps := make([]vp, 0, n*replicas)
+	for s := 0; s < n; s++ {
+		for v := 0; v < replicas; v++ {
+			vps = append(vps, vp{hash(fmt.Sprintf("shard-%d-vp-%d", s, v)), s})
+		}
+	}
+	sort.Slice(vps, func(i, j int) bool {
+		if vps[i].h != vps[j].h {
+			return vps[i].h < vps[j].h
+		}
+		// Deterministic ownership for (astronomically unlikely) equal
+		// hashes: the lower shard index wins.
+		return vps[i].shard < vps[j].shard
+	})
+	for _, p := range vps {
+		r.points = append(r.points, p.h)
+		r.owner = append(r.owner, p.shard)
+	}
+	return r
+}
+
+// N returns the shard count.
+func (r *Ring) N() int { return r.n }
+
+// Lookup returns the shard owning key: the first virtual point
+// clockwise from the key's hash.
+func (r *Ring) Lookup(key string) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.owner[i]
+}
+
+// hash is FNV-1a over the key bytes — fast, dependency-free, and
+// uniform enough for virtual-point smoothing to even out.
+func hash(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}

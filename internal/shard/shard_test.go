@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSingleShard: every key lands on shard 0.
+func TestSingleShard(t *testing.T) {
+	r := New(1, 0)
+	for i := 0; i < 100; i++ {
+		if s := r.Lookup(fmt.Sprintf("key-%d", i)); s != 0 {
+			t.Fatalf("Lookup on 1-shard ring = %d", s)
+		}
+	}
+}
+
+// TestDeterministic: two rings with identical parameters route
+// identically — the property the Router and the session ID minting
+// both rely on.
+func TestDeterministic(t *testing.T) {
+	a, b := New(4, 0), New(4, 0)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings diverge on %q", k)
+		}
+	}
+}
+
+// TestRangeAndCoverage: lookups stay in [0, N) and every shard owns a
+// nontrivial share of a uniform key population.
+func TestRangeAndCoverage(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		r := New(n, 0)
+		if r.N() != n {
+			t.Fatalf("N() = %d, want %d", r.N(), n)
+		}
+		counts := make([]int, n)
+		const keys = 10000
+		for i := 0; i < keys; i++ {
+			s := r.Lookup(fmt.Sprintf("session-%d-abcdef", i))
+			if s < 0 || s >= n {
+				t.Fatalf("Lookup out of range: %d (n=%d)", s, n)
+			}
+			counts[s]++
+		}
+		// With 64 virtual points per shard the split is a few percent
+		// off uniform; assert no shard is starved below half its fair
+		// share or doubled above it.
+		fair := keys / n
+		for s, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("n=%d: shard %d owns %d of %d keys (fair %d)", n, s, c, keys, fair)
+			}
+		}
+	}
+}
+
+// TestMinimalReassignment: growing the ring by one shard moves only
+// keys that land on the new shard — no key moves between two shards
+// that exist in both rings.
+func TestMinimalReassignment(t *testing.T) {
+	old, grown := New(3, 0), New(4, 0)
+	moved, total := 0, 10000
+	for i := 0; i < total; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		a, b := old.Lookup(k), grown.Lookup(k)
+		if a != b {
+			moved++
+			if b != 3 {
+				t.Fatalf("key %q moved from shard %d to pre-existing shard %d", k, a, b)
+			}
+		}
+	}
+	// The new shard should claim roughly its fair quarter.
+	if moved < total/8 || moved > total/2 {
+		t.Errorf("grown ring moved %d of %d keys (expected ≈%d)", moved, total, total/4)
+	}
+}
+
+// TestBadN: a ring over zero shards is a construction bug.
+func TestBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 0) did not panic")
+		}
+	}()
+	New(0, 0)
+}

@@ -23,6 +23,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"dyncg"
@@ -221,6 +222,86 @@ func TestReplayRegression(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestReplayRegressionCached is the battery under the daemon's default
+// front door: record through a server with the response cache and
+// coalescing enabled — including a duplicate round served from the
+// cache and a concurrent identical burst that exercises coalescing —
+// then verify the chain and replay. Cache-served and coalesced records
+// carry the original computation's exact bytes, so a caching replay
+// server re-derives every one of them byte-identically.
+func TestReplayRegressionCached(t *testing.T) {
+	dir := t.TempDir()
+	rlog, err := replaylog.Open(dir, replaylog.WithMaxSegment(8<<10))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := server.New(server.Config{
+		ReplayLog:  rlog,
+		CacheBytes: server.DefaultCacheBytes,
+		Coalesce:   true,
+	})
+	h := rec.Handler()
+	recordMixedTrace(t, h, "hypercube", 1)
+
+	// Duplicate round: every one-shot request again, byte-identical.
+	// Each repeat must be absorbed by the response cache.
+	reqs := oneShotRequests("hypercube", 1)
+	for name, req := range reqs {
+		if st, body := postJSON(t, h, "/v1/"+name, req); st != http.StatusOK {
+			t.Fatalf("repeat %s: status %d, body %s", name, st, body)
+		}
+	}
+	if hits := rec.RCacheStats().Hits; hits < int64(len(reqs)) {
+		t.Fatalf("rcache hits = %d after the duplicate round, want ≥ %d", hits, len(reqs))
+	}
+
+	// Concurrent identical burst on a fresh system: the leader computes,
+	// the rest coalesce onto it or hit the cache it fills — either way
+	// every record carries the leader's bytes.
+	const burst = 8
+	burstReq := api.Request{
+		V:      api.Version,
+		System: wireSys(motion.Diverging(rand.New(rand.NewSource(99)), 8)),
+	}
+	burstBody, err := json.Marshal(burstReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = send(t, h, http.MethodPost, "/v1/steady-hull", burstBody)
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, code)
+		}
+	}
+
+	if err := rlog.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := dyncg.VerifyReplayLog(dir); err != nil {
+		t.Fatalf("VerifyReplayLog: %v", err)
+	}
+	rep, err := dyncg.Replay(dir)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Diverged != nil {
+		t.Fatalf("cached recording diverged on replay: %s", rep.Diverged)
+	}
+	// 24 mixed-trace requests + 14 duplicates + the 8-way burst.
+	if want := 24 + len(reqs) + burst; rep.Replayed != want {
+		t.Fatalf("replayed %d requests, want %d (report %+v)", rep.Replayed, want, rep)
 	}
 }
 

@@ -28,22 +28,34 @@
 # -check gate with a note and are pinned on the next refresh, so adding
 # a benchmark never breaks CI before its first pin (cmd/benchgate tests
 # this explicitly).
+#
+# BenchmarkServerThroughput (the req/s saturation rows: shard counts x
+# duplicate ratios plus the uncached baseline) runs in a third
+# invocation WITHOUT -benchmem: per-op allocation under concurrent
+# closed-loop load is nondeterministic, and the row's point is the
+# higher-is-better req/s metric, which benchgate gates against
+# collapses (new < old/6). BENCH_TIME_TP (default 500x) pins its
+# iteration count.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 benchtime=${BENCH_TIME:-100x}
 benchtime_large=${BENCH_TIME_LARGE:-20x}
+benchtime_tp=${BENCH_TIME_TP:-500x}
 mode=${1:-refresh}
 
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer|BenchmarkSession|BenchmarkReplay' -benchtime $benchtime -benchmem"
-go test -run '^$' -bench 'BenchmarkPerf($|EndToEnd)|BenchmarkServer|BenchmarkSession|BenchmarkReplay' -benchtime "$benchtime" -benchmem . ./internal/server ./internal/replaylog | tee "$out"
+echo "==> go test -bench 'BenchmarkPerf|BenchmarkServer$|BenchmarkSession|BenchmarkReplay' -benchtime $benchtime -benchmem"
+go test -run '^$' -bench 'BenchmarkPerf($|EndToEnd)|BenchmarkServer$|BenchmarkSession|BenchmarkReplay' -benchtime "$benchtime" -benchmem . ./internal/server ./internal/replaylog | tee "$out"
 
 echo "==> go test -bench BenchmarkPerfLargeN -benchtime $benchtime_large -benchmem"
 go test -run '^$' -bench 'BenchmarkPerfLargeN' -benchtime "$benchtime_large" -benchmem . | tee -a "$out"
+
+echo "==> go test -bench BenchmarkServerThroughput -benchtime $benchtime_tp (no -benchmem: concurrent allocs are nondeterministic)"
+go test -run '^$' -bench 'BenchmarkServerThroughput' -benchtime "$benchtime_tp" ./internal/server | tee -a "$out"
 
 case "$mode" in
 -check)

@@ -4,7 +4,8 @@
 # Builds cmd/dyncgd, starts it on a local port, and drives the full
 # operational surface over real HTTP: /healthz, one algorithm per
 # results table (§4 transient, §5 steady-state, §4.2 pair sequence), a
-# repeat request that must be served by the warm pool, a fault-injected
+# byte-identical repeat that must be served from the response cache, a
+# perturbed repeat that must be served by the warm pool, a fault-injected
 # request through the recovery harness, a stateful session round-trip
 # (create → update → query → delete, cross-checked against a direct
 # facade session by examples/client -session), /metrics, and finally a
@@ -77,8 +78,17 @@ expect "steady-hull (mesh)" '"topology":"mesh"' "$r"
 r=$(post closest-pair-sequence "{\"v\":1,\"system\":$sys}")
 expect "closest-pair-sequence" '"algorithm":"closest-pair-sequence"' "$r"
 
-# The repeat of the first request must hit the warm pool.
-r=$(post closest-point-sequence "{\"v\":1,\"system\":$sys,\"origin\":0}")
+# The byte-identical repeat of the first request must be served from
+# the response cache (daemon default -rcache-bytes): same body, no pool
+# work, and the source header says so.
+hdr=$(curl -fsS -D - -o /dev/null -X POST "$base/v1/closest-point-sequence" \
+    -H 'Content-Type: application/json' -d "{\"v\":1,\"system\":$sys,\"origin\":0}")
+expect "response cache" 'X-Dyncg-Source: cache' "$hdr"
+
+# A perturbed system in the same machine class misses the cache but
+# must hit the warm pool.
+sys2='[[[0],[0]],[[1,2],[0]],[[0],[19,-1]]]'
+r=$(post closest-point-sequence "{\"v\":1,\"system\":$sys2,\"origin\":0}")
 expect "pool reuse" '"hit":true' "$r"
 
 # A fault-injected request runs through the recovery harness and
@@ -120,6 +130,18 @@ expect "metrics" 'dyncgd_requests_total' "$r"
 expect "metrics pool" 'dyncgd_pool_checkouts_total{result="hit"}' "$r"
 expect "metrics sessions" 'dyncg_session_updates_total' "$r"
 expect "metrics replaylog" 'dyncg_replaylog_records_total' "$r"
+rhits=$(printf '%s\n' "$r" | awk '/^dyncg_rcache_hits_total/ {print $2}')
+if [ -z "$rhits" ] || [ "$rhits" -lt 1 ]; then
+    echo "server_smoke: expected at least one response-cache hit on /metrics, got '${rhits:-missing}'" >&2
+    exit 1
+fi
+echo "==> metrics rcache OK ($rhits hits)"
+idle_pes=$(printf '%s\n' "$r" | awk '/^dyncgd_pool_idle_pes/ {print $2}')
+echo "==> pool idle PEs gauge: ${idle_pes:-missing}"
+if [ -z "$idle_pes" ]; then
+    echo "server_smoke: dyncgd_pool_idle_pes gauge missing from /metrics" >&2
+    exit 1
+fi
 
 # Graceful drain: SIGTERM must flip health to 503 and exit 0.
 kill -TERM "$pid"
