@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,9 +54,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dyncg/internal/fleet"
 	"dyncg/internal/replaylog"
 	"dyncg/internal/server"
 )
@@ -77,6 +80,11 @@ var (
 	shards       = flag.Int("shards", 1, "number of in-process server shards; requests route by machine class, sessions by ID (consistent hash)")
 	rcacheBytes  = flag.Int64("rcache-bytes", server.DefaultCacheBytes, "response cache budget in bytes, per shard (0 disables)")
 	coalesce     = flag.Bool("coalesce", true, "merge identical in-flight requests into one computation")
+	fleetSpec    = flag.String("fleet", "", "run as a fleet front door over these workers: comma-separated id=url pairs (m0=http://127.0.0.1:9101,...)")
+	fleetConfig  = flag.String("fleet-config", "", "run as a fleet front door over the members in this JSON file ({\"members\":[{\"id\":...,\"url\":...},...]})")
+	memberID     = flag.String("member-id", "", "this worker's fleet member ID: stamped on responses, salted into session IDs")
+	fleetIDs     = flag.String("fleet-ids", "", "comma-separated IDs of every fleet member (workers mint session IDs that hash home to -member-id on this roster)")
+	probeEvery   = flag.Duration("probe-interval", time.Second, "front-door health-probe period (fleet mode)")
 )
 
 func main() {
@@ -109,7 +117,13 @@ func main() {
 		log.Info("replay log open", "dir", *logDir, "next_seq", seq, "head", head)
 	}
 
+	if *fleetSpec != "" || *fleetConfig != "" {
+		os.Exit(runFrontDoor(log, rlog))
+	}
+
 	cfg := server.Config{
+		MemberID:       *memberID,
+		FleetIDs:       splitIDs(*fleetIDs),
 		PoolCap:        *poolCap,
 		PoolMaxPEs:     *poolMaxPEs,
 		MaxInFlight:    *maxInflight,
@@ -173,6 +187,111 @@ func main() {
 		}
 	}
 	log.Info("stopped")
+}
+
+// splitIDs parses a comma-separated ID roster, dropping empties.
+func splitIDs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// parseFleet resolves the fleet roster from -fleet (id=url pairs) or
+// -fleet-config (JSON file).
+func parseFleet() ([]fleet.Member, error) {
+	if *fleetSpec != "" && *fleetConfig != "" {
+		return nil, errors.New("use -fleet or -fleet-config, not both")
+	}
+	if *fleetConfig != "" {
+		data, err := os.ReadFile(*fleetConfig)
+		if err != nil {
+			return nil, err
+		}
+		var doc struct {
+			Members []fleet.Member `json:"members"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", *fleetConfig, err)
+		}
+		return doc.Members, nil
+	}
+	var members []fleet.Member
+	for _, pair := range strings.Split(*fleetSpec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-fleet entry %q is not id=url", pair)
+		}
+		members = append(members, fleet.Member{ID: id, URL: url})
+	}
+	return members, nil
+}
+
+// runFrontDoor serves fleet mode: the consistent-hash front door over
+// the worker roster, with the response cache, coalescer, and replay
+// log held here — fleet-wide — instead of per worker.
+func runFrontDoor(log *slog.Logger, rlog *replaylog.Log) int {
+	members, err := parseFleet()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncgd: %v\n", err)
+		return 2
+	}
+	fd, err := fleet.New(fleet.Config{
+		Members:        members,
+		DefaultWorkers: *workers,
+		Deadline:       *deadline,
+		ProbeInterval:  *probeEvery,
+		CacheBytes:     *rcacheBytes,
+		Coalesce:       *coalesce,
+		Logger:         log,
+		ReplayLog:      rlog,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncgd: %v\n", err)
+		return 2
+	}
+	fd.Start()
+	hs := &http.Server{Addr: *addr, Handler: fd.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Info("dyncgd front door listening", "addr", *addr,
+		"members", len(members), "rcache_bytes", *rcacheBytes, "coalesce", *coalesce)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Error("listen failed", "err", err)
+		return 1
+	case got := <-sig:
+		log.Info("shutting down", "signal", got.String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("forced shutdown after drain timeout", "err", err)
+		hs.Close()
+		return 1
+	}
+	fd.Close()
+	if rlog != nil {
+		if err := rlog.Close(); err != nil {
+			log.Warn("replay log close failed", "err", err)
+			return 1
+		}
+	}
+	log.Info("stopped")
+	return 0
 }
 
 // runReplay is the `dyncgd replay` subcommand: verify the chain and

@@ -124,12 +124,18 @@ func main() {
 		Origin:  0,
 		Options: options{Topology: *topo},
 	}
-	raw := post(*addr+"/v1/closest-point-sequence", req)
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	raw, hdr := do(http.MethodPost, *addr+"/v1/closest-point-sequence", body)
 	var resp response
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		fatal(err)
 	}
 
+	fmt.Printf("served by member %q, source %q, api v%s\n",
+		hdr.Get("X-Dyncg-Member"), hdr.Get("X-Dyncg-Source"), hdr.Get("X-Dyncg-Api-Version"))
 	fmt.Printf("closest points to P0 over time (served by a %d-PE %s, pool hit: %v):\n",
 		resp.Machine.PEs, resp.Machine.Topology, resp.Pool.Hit)
 	for _, ev := range resp.Result {
@@ -280,36 +286,75 @@ func wirePoint(p dyncg.Point) [][]float64 {
 	return coords
 }
 
+// apiError is the v1 error envelope: a stable machine-readable code,
+// a human message, whether the condition is load-shaped (worth one
+// retry), and — behind a fleet front door — the member the failure is
+// attributed to.
+type apiError struct {
+	V         int    `json:"v"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	Member    string `json:"member"`
+}
+
 func post(url string, body any) []byte {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		fatal(err)
 	}
-	hr, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		fatal(fmt.Errorf("%w (is dyncgd running? go run ./cmd/dyncgd)", err))
-	}
-	return slurp(hr)
+	b, _ := do(http.MethodPost, url, raw)
+	return b
 }
 
 func get(url string) []byte {
-	hr, err := http.Get(url)
-	if err != nil {
-		fatal(err)
-	}
-	return slurp(hr)
+	b, _ := do(http.MethodGet, url, nil)
+	return b
 }
 
-func slurp(hr *http.Response) []byte {
-	defer hr.Body.Close()
-	raw, err := io.ReadAll(hr.Body)
-	if err != nil {
-		fatal(err)
-	}
-	if hr.StatusCode != http.StatusOK {
+// do issues one request, decoding the typed error envelope on any
+// non-200. Retryable codes (queue_full, draining, …) get exactly one
+// client-side retry; everything else is fatal with the code and the
+// attributed member surfaced.
+func do(method, url string, body []byte) ([]byte, http.Header) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			fatal(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		hr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(fmt.Errorf("%w (is dyncgd running? go run ./cmd/dyncgd)", err))
+		}
+		raw, err := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if hr.StatusCode == http.StatusOK {
+			return raw, hr.Header
+		}
+		var e apiError
+		if json.Unmarshal(raw, &e) == nil && e.Code != "" {
+			if e.Retryable && attempt == 0 {
+				fmt.Fprintf(os.Stderr, "client: %s is retryable, retrying once\n", e.Code)
+				continue
+			}
+			member := ""
+			if e.Member != "" {
+				member = fmt.Sprintf(" (member %s)", e.Member)
+			}
+			fatal(fmt.Errorf("daemon error %s, code %s%s: %s", hr.Status, e.Code, member, e.Message))
+		}
 		fatal(fmt.Errorf("daemon returned %s: %s", hr.Status, raw))
 	}
-	return raw
 }
 
 func mustDecode(raw []byte, into any) {

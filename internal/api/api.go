@@ -166,13 +166,6 @@ type Response struct {
 	Result    any          `json:"result"`
 }
 
-// Error is the v1 error envelope (non-2xx responses).
-type Error struct {
-	V    int    `json:"v"`
-	Code string `json:"code"`
-	Err  string `json:"error"`
-}
-
 // --- result payloads -----------------------------------------------------
 
 // NeighborEvent is one element of a closest/farthest-point sequence.

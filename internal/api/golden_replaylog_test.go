@@ -25,6 +25,7 @@ func TestGoldenReplayRecord(t *testing.T) {
 				Workers:   2,
 				FaultSeed: 7,
 				Session:   "",
+				Member:    "m1",
 			},
 			Request:  json.RawMessage(`{"v":1,"system":[[[0],[0]],[[1,2],[0]]],"origin":0}`),
 			Response: json.RawMessage(`{"v":1,"algorithm":"closest-point-sequence","result":[]}`),
@@ -40,7 +41,7 @@ func TestGoldenReplayRecord(t *testing.T) {
 			Status:     400,
 			Meta:       ReplayMeta{},
 			RequestBin: []byte(`{"v":1,`),
-			Response:   json.RawMessage(`{"v":1,"code":"bad_request","error":"server: decoding request: unexpected end of JSON input"}`),
+			Response:   json.RawMessage(`{"v":1,"code":"bad_request","message":"server: decoding request: unexpected end of JSON input"}`),
 			Prev:       "fcde2b2edba56bf408601fb721fe9b5c338d10ee429ea04fae5511b68fbf8fb9",
 			Hash:       "2e7d2c03a9507ae265ecf5b5356885a53393a2029d241394997265a1a25aefc6",
 		},

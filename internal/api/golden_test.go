@@ -79,10 +79,48 @@ func TestGoldenResponse(t *testing.T) {
 }
 
 func TestGoldenError(t *testing.T) {
-	golden(t, "v1_error.json", Error{
+	golden(t, "v1_error.json", []Error{
+		*NewError(CodeBadSystem, "motion: invalid system of moving points"),
+		*NewError(CodeQueueFull, "server: request not admitted: queue_full"),
+		{
+			V: Version, Code: CodeMemberDown,
+			Message: `fleet: member "m1" owning session "s-m1-3-aabbccdd" is down`,
+			Member:  "m1",
+		},
+	})
+}
+
+func TestErrorCodeRetryable(t *testing.T) {
+	// The load-shaped admission codes are retryable; request- and
+	// state-shaped codes are not. A spot check on both sides keeps the
+	// classification a deliberate decision.
+	for _, c := range []ErrorCode{CodeQueueFull, CodeDraining, CodeDeadlineQueued,
+		CodeDeadlineExceeded, CodeCoalesceTimeout, CodeTooManySessions, CodeNoMembers} {
+		if !c.Retryable() {
+			t.Errorf("%s must be retryable", c)
+		}
+	}
+	for _, c := range []ErrorCode{CodeBadRequest, CodeBadVersion, CodeBadSystem,
+		CodeTooFewPEs, CodeNoSession, CodeSessionBroken, CodeMemberDown, CodeInternal} {
+		if c.Retryable() {
+			t.Errorf("%s must not be retryable", c)
+		}
+	}
+	if e := NewError(CodeQueueFull, "x"); !e.Retryable {
+		t.Error("NewError dropped Retryable for queue_full")
+	}
+}
+
+func TestGoldenCluster(t *testing.T) {
+	golden(t, "v1_cluster.json", ClusterResponse{
 		V:    Version,
-		Code: "bad_system",
-		Err:  "motion: invalid system of moving points",
+		Mode: "fleet",
+		Members: []ClusterMember{
+			{ID: "m0", URL: "http://127.0.0.1:9101", Healthy: true,
+				Inflight: 2, QueueDepth: 1, IdlePEs: 4096, Sessions: 3},
+			{ID: "m1", URL: "http://127.0.0.1:9102", Healthy: false},
+		},
+		Probe: &ClusterProbe{Key: "s-m0-7-0a1b2c3d", Member: "m0"},
 	})
 }
 

@@ -34,6 +34,9 @@ type ReplayMeta struct {
 	FaultSeed int64 `json:"fault_seed,omitempty"`
 	// Session is the session ID a stateful request addressed.
 	Session string `json:"session,omitempty"`
+	// Member is the fleet member that served the request, recorded by
+	// the front door (empty for single-process logs).
+	Member string `json:"member,omitempty"`
 }
 
 // ReplayRecord is the v1 envelope of one computation-log record.

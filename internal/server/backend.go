@@ -1,0 +1,109 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"dyncg/internal/api"
+	"dyncg/internal/shard"
+)
+
+// Backend is one routing target of a fleet or shard router: something
+// that serves the /v1/* surface under a stable member identity. The
+// in-process implementation is *Server itself; internal/fleet provides
+// the HTTP implementation that forwards to a worker process. Routing
+// layers program against this interface so the same routing logic
+// (consistent-hash by class key or session ID) works whether the
+// member is a goroutine away or a process away.
+type Backend interface {
+	// ID is the member's stable identity: the value of the
+	// X-Dyncg-Member response header and the ring key the member is
+	// hashed under.
+	ID() string
+	// Healthy reports whether the member currently accepts traffic.
+	Healthy() bool
+	http.Handler
+}
+
+// apiVersionHeader is the value of X-Dyncg-Api-Version on every
+// response: the v1 wire-schema version the server speaks.
+var apiVersionHeader = strconv.Itoa(api.Version)
+
+// ID returns the server's member identity (Config.MemberID, or
+// "local" for a standalone server).
+func (s *Server) ID() string { return s.member }
+
+// Healthy reports whether the server accepts traffic (not draining).
+func (s *Server) Healthy() bool { return !s.draining.Load() }
+
+// ServeHTTP serves the full surface, stamping the identity headers —
+// X-Dyncg-Member and X-Dyncg-Api-Version — on every response so a
+// client (or a front door debugging a misroute) can always see which
+// member produced the bytes and under which schema version.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := w.Header()
+	h.Set("X-Dyncg-Api-Version", apiVersionHeader)
+	h.Set("X-Dyncg-Member", s.member)
+	s.mux.ServeHTTP(w, r)
+}
+
+// fleetIDCheck builds the session-ID predicate of a fleet worker:
+// minted IDs must consistent-hash (on the fleet's named ring) back to
+// this member, so the front door's ID-routed session requests always
+// land on the process holding the pinned machine. Nil when the config
+// is not a multi-member fleet.
+func fleetIDCheck(cfg Config) func(string) bool {
+	if cfg.MemberID == "" || len(cfg.FleetIDs) < 2 {
+		return nil
+	}
+	ring := shard.NewNamed(cfg.FleetIDs, 0)
+	me := cfg.MemberID
+	return func(id string) bool { return ring.Lookup(id) == me }
+}
+
+// clusterMember snapshots this server's row of the /v1/cluster
+// envelope.
+func (s *Server) clusterMember() api.ClusterMember {
+	return api.ClusterMember{
+		ID:         s.member,
+		Healthy:    !s.draining.Load(),
+		Inflight:   len(s.sem),
+		QueueDepth: len(s.queue) - len(s.sem),
+		IdlePEs:    s.pool.Stats().IdlePEs,
+		Sessions:   s.sessions.Len(),
+	}
+}
+
+// handleCluster serves GET /v1/cluster for a standalone server: one
+// member, every key owned by it.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	resp := api.ClusterResponse{
+		V:       api.Version,
+		Mode:    "single",
+		Members: []api.ClusterMember{s.clusterMember()},
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		resp.Probe = &api.ClusterProbe{Key: key, Member: s.member}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCluster serves GET /v1/cluster for a shard router: one row per
+// shard, ?key= resolved on the shard ring.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	mode := "sharded"
+	if len(rt.shards) == 1 {
+		mode = "single"
+	}
+	resp := api.ClusterResponse{V: api.Version, Mode: mode}
+	for _, s := range rt.shards {
+		resp.Members = append(resp.Members, s.clusterMember())
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		resp.Probe = &api.ClusterProbe{
+			Key:    key,
+			Member: rt.shards[rt.ring.Lookup(key)].member,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -56,14 +56,21 @@ func NewRouter(n int, cfg Config) *Router {
 		mux:  http.NewServeMux(),
 		rlog: cfg.ReplayLog,
 	}
+	fleetCheck := fleetIDCheck(cfg)
 	for i := 0; i < n; i++ {
 		srv := New(cfg)
+		if cfg.MemberID == "" && n > 1 {
+			srv.member = fmt.Sprintf("shard-%d", i)
+		}
 		idx := i
-		srv.sessions.SetIDCheck(func(id string) bool { return rt.ring.Lookup(id) == idx })
+		srv.sessions.SetIDCheck(func(id string) bool {
+			return rt.ring.Lookup(id) == idx && (fleetCheck == nil || fleetCheck(id))
+		})
 		rt.shards = append(rt.shards, srv)
 	}
 	rt.maxBody = rt.shards[0].cfg.MaxBody
 	rt.mux.HandleFunc("POST /v1/{algorithm}", rt.routeAlgorithm)
+	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
 	rt.mux.HandleFunc("POST /v1/sessions", rt.routeSessionCreate)
 	rt.mux.HandleFunc("POST /v1/sessions/{id}/update", rt.routeSessionByID)
 	rt.mux.HandleFunc("GET /v1/sessions/{id}/query", rt.routeSessionByID)
@@ -73,8 +80,16 @@ func NewRouter(n int, cfg Config) *Router {
 	return rt
 }
 
-// Handler returns the router's HTTP handler.
-func (rt *Router) Handler() http.Handler { return rt.mux }
+// Handler returns the router's HTTP handler (the router itself).
+func (rt *Router) Handler() http.Handler { return rt }
+
+// ServeHTTP serves the routed surface. Requests that reach a shard get
+// that shard's identity headers; router-level endpoints (healthz,
+// metrics, cluster) stamp the schema version here.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Dyncg-Api-Version", apiVersionHeader)
+	rt.mux.ServeHTTP(w, r)
+}
 
 // Shards returns the shard servers (exposed for tests and metrics).
 func (rt *Router) Shards() []*Server { return rt.shards }
@@ -95,12 +110,12 @@ func (rt *Router) InFlight() int {
 	return n
 }
 
-// classKey is the routing key of a one-shot request: a deterministic
+// ClassKey is the routing key of a one-shot request: a deterministic
 // digest of the machine size class it will occupy. Identical requests
 // agree on it trivially (the coalescing requirement); requests that
 // differ only in coefficients or query fields share it, keeping a
 // working set's machine classes warm in as few shards as possible.
-func classKey(req *api.Request) string {
+func ClassKey(req *api.Request) string {
 	n := len(req.System)
 	k := 0
 	for _, pt := range req.System {
@@ -138,25 +153,25 @@ func (rt *Router) routeAlgorithm(w http.ResponseWriter, r *http.Request) {
 			pd.err = fmt.Errorf("server: decoding request: %w", uerr)
 		} else {
 			pd.req = &req
-			idx = rt.ring.Lookup(classKey(&req))
+			idx = rt.ring.Lookup(ClassKey(&req))
 		}
 	}
 	ctx := context.WithValue(r.Context(), predecodedKey{}, pd)
-	rt.shards[idx].mux.ServeHTTP(w, r.WithContext(ctx))
+	rt.shards[idx].ServeHTTP(w, r.WithContext(ctx))
 }
 
 // routeSessionCreate places new sessions round-robin; the chosen
 // shard's registry mints an ID that hashes back to it.
 func (rt *Router) routeSessionCreate(w http.ResponseWriter, r *http.Request) {
 	idx := int(rt.next.Add(1)-1) % len(rt.shards)
-	rt.shards[idx].mux.ServeHTTP(w, r)
+	rt.shards[idx].ServeHTTP(w, r)
 }
 
 // routeSessionByID routes update/query/delete to the shard owning the
 // session ID. Unknown IDs still route deterministically, and the owning
 // shard's registry reports no_session.
 func (rt *Router) routeSessionByID(w http.ResponseWriter, r *http.Request) {
-	rt.shards[rt.ring.Lookup(r.PathValue("id"))].mux.ServeHTTP(w, r)
+	rt.shards[rt.ring.Lookup(r.PathValue("id"))].ServeHTTP(w, r)
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {

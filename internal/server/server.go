@@ -78,6 +78,17 @@ type Config struct {
 	// response bytes fan out to every merged caller (internal/coalesce).
 	// Sessions and fault-injected requests are never coalesced.
 	Coalesce bool
+	// MemberID is this process's identity in a fleet: stamped into the
+	// X-Dyncg-Member response header, reported by /v1/cluster, and
+	// salted into minted session IDs so IDs from different worker
+	// processes never collide (empty = "local", unsalted IDs).
+	MemberID string
+	// FleetIDs lists every member of the fleet this process belongs to
+	// (MemberID included). With two or more members, minted session IDs
+	// must consistent-hash back to MemberID on the fleet's named ring,
+	// so the front door's ID-routed session traffic always finds the
+	// process holding the session. Empty for standalone servers.
+	FleetIDs []string
 	// Logger receives one structured record per request (nil = discard).
 	Logger *slog.Logger
 	// ReplayLog, when non-nil, records every served /v1/* request and
@@ -102,6 +113,7 @@ type Server struct {
 	log      *slog.Logger
 	rlog     *replaylog.Log
 	mux      *http.ServeMux
+	member   string
 	sessions *session.Registry
 	sessMet  *sessionMetrics
 	rc       *rcache.Cache             // nil when caching is disabled
@@ -155,20 +167,32 @@ func New(cfg Config) *Server {
 	if cfg.Coalesce {
 		s.cg = coalesce.New[*outcome]()
 	}
+	s.member = cfg.MemberID
+	if s.member == "" {
+		s.member = "local"
+	}
 	s.sessMet = newSessionMetrics()
 	s.sessions = session.NewRegistry(cfg.MaxSessions, cfg.SessionTTL, s.releaseSession)
+	if cfg.MemberID != "" {
+		s.sessions.SetIDPrefix(cfg.MemberID)
+	}
+	if check := fleetIDCheck(cfg); check != nil {
+		s.sessions.SetIDCheck(check)
+	}
 	s.mux.HandleFunc("POST /v1/{algorithm}", s.handleAlgorithm)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/query", s.handleSessionQuery)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (the server itself, so
+// every response carries the identity headers).
+func (s *Server) Handler() http.Handler { return s }
 
 // Pool returns the machine pool (exposed for tests and metrics).
 func (s *Server) Pool() *Pool { return s.pool }
@@ -202,50 +226,51 @@ func (s *Server) InFlight() int { return len(s.sem) }
 // admit applies admission control: reject when draining, 429 when the
 // wait queue is full, then block for an execution slot until the
 // request's deadline. The returned release frees the slot.
-func (s *Server) admit(ctx context.Context) (release func(), status int, code string) {
+func (s *Server) admit(ctx context.Context) (release func(), status int, code api.ErrorCode) {
 	if s.draining.Load() {
-		return nil, http.StatusServiceUnavailable, "draining"
+		return nil, http.StatusServiceUnavailable, api.CodeDraining
 	}
 	select {
 	case s.queue <- struct{}{}:
 	default:
-		return nil, http.StatusTooManyRequests, "queue_full"
+		return nil, http.StatusTooManyRequests, api.CodeQueueFull
 	}
 	select {
 	case s.sem <- struct{}{}:
 		<-s.queue
 		if ctx.Err() != nil {
 			<-s.sem
-			return nil, http.StatusServiceUnavailable, "deadline_queued"
+			return nil, http.StatusServiceUnavailable, api.CodeDeadlineQueued
 		}
 		return func() { <-s.sem }, 0, ""
 	case <-ctx.Done():
 		<-s.queue
-		return nil, http.StatusServiceUnavailable, "deadline_queued"
+		return nil, http.StatusServiceUnavailable, api.CodeDeadlineQueued
 	}
 }
 
-// errStatus maps the facade's typed errors to HTTP statuses.
-func errStatus(err error) (int, string) {
+// errStatus maps the facade's typed errors to HTTP statuses and the
+// typed error codes of the v1 envelope.
+func errStatus(err error) (int, api.ErrorCode) {
 	switch {
 	case errors.Is(err, motion.ErrBadSystem):
-		return http.StatusBadRequest, "bad_system"
+		return http.StatusBadRequest, api.CodeBadSystem
 	case errors.Is(err, machine.ErrTooFewPEs):
-		return http.StatusUnprocessableEntity, "too_few_pes"
+		return http.StatusUnprocessableEntity, api.CodeTooFewPEs
 	case errors.Is(err, fault.ErrNotSurvivable):
-		return http.StatusServiceUnavailable, "not_survivable"
+		return http.StatusServiceUnavailable, api.CodeNotSurvivable
 	case errors.Is(err, session.ErrNoSession):
-		return http.StatusNotFound, "no_session"
+		return http.StatusNotFound, api.CodeNoSession
 	case errors.Is(err, session.ErrTooManySessions):
-		return http.StatusTooManyRequests, "too_many_sessions"
+		return http.StatusTooManyRequests, api.CodeTooManySessions
 	case errors.Is(err, session.ErrBroken):
-		return http.StatusConflict, "session_broken"
+		return http.StatusConflict, api.CodeSessionBroken
 	}
-	return http.StatusInternalServerError, "internal"
+	return http.StatusInternalServerError, api.CodeInternal
 }
 
-func apiError(code string, err error) *api.Error {
-	return &api.Error{V: api.Version, Code: code, Err: err.Error()}
+func apiError(code api.ErrorCode, err error) *api.Error {
+	return api.NewError(code, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -375,7 +400,7 @@ type outcome struct {
 	faultSeed int64
 }
 
-func errOutcome(st int, code string, err error) *outcome {
+func errOutcome(st int, code api.ErrorCode, err error) *outcome {
 	return &outcome{status: st, out: apiError(code, err), errMsg: err.Error()}
 }
 
@@ -389,7 +414,7 @@ func (o *outcome) marshal() {
 	}
 	b, err := json.Marshal(o.out)
 	if err != nil {
-		e := apiError("internal", fmt.Errorf("server: encoding response: %w", err))
+		e := apiError(api.CodeInternal, fmt.Errorf("server: encoding response: %w", err))
 		o.status, o.out, o.errMsg = http.StatusInternalServerError, e, err.Error()
 		b, _ = json.Marshal(e)
 	}
@@ -427,7 +452,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	)
 	defer func() {
 		if o == nil {
-			o = errOutcome(http.StatusInternalServerError, "internal",
+			o = errOutcome(http.StatusInternalServerError, api.CodeInternal,
 				errors.New("server: request produced no outcome"))
 		}
 		w.Header().Set("X-Dyncg-Source", source)
@@ -463,11 +488,11 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 			slog.String("error", o.errMsg),
 		)
 	}()
-	fail := func(st int, code string, err error) { o = errOutcome(st, code, err) }
+	fail := func(st int, code api.ErrorCode, err error) { o = errOutcome(st, code, err) }
 
 	alg, ok := algorithms[name]
 	if !ok {
-		fail(http.StatusNotFound, "unknown_algorithm",
+		fail(http.StatusNotFound, api.CodeUnknownAlgorithm,
 			fmt.Errorf("server: unknown algorithm %q", name))
 		return
 	}
@@ -476,7 +501,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	if pd := predecodedFrom(r.Context()); pd != nil {
 		raw = pd.raw
 		if pd.err != nil {
-			fail(pd.status, "bad_request", pd.err)
+			fail(pd.status, api.CodeBadRequest, pd.err)
 			return
 		}
 		req = *pd.req
@@ -490,16 +515,16 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 			if errors.As(rerr, &tooBig) {
 				st = http.StatusRequestEntityTooLarge
 			}
-			fail(st, "bad_request", fmt.Errorf("server: decoding request: %w", rerr))
+			fail(st, api.CodeBadRequest, fmt.Errorf("server: decoding request: %w", rerr))
 			return
 		}
 		if err := json.Unmarshal(raw, &req); err != nil {
-			fail(http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err))
+			fail(http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("server: decoding request: %w", err))
 			return
 		}
 	}
 	if req.V != api.Version {
-		fail(http.StatusBadRequest, "bad_version",
+		fail(http.StatusBadRequest, api.CodeBadVersion,
 			fmt.Errorf("server: unsupported schema version %d (want %d)", req.V, api.Version))
 		return
 	}
@@ -510,12 +535,12 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	}
 	tp, err := topo.Parse(topoName)
 	if err != nil {
-		fail(http.StatusBadRequest, "bad_topology", err)
+		fail(http.StatusBadRequest, api.CodeBadTopology, err)
 		return
 	}
 	spec, err := fault.ParseSpec(req.Options.Faults)
 	if err != nil {
-		fail(http.StatusBadRequest, "bad_faults", err)
+		fail(http.StatusBadRequest, api.CodeBadFaults, err)
 		return
 	}
 	sys, err := systemFrom(req.System)
@@ -610,7 +635,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 					// still computing. 503 is an admission artifact: replay
 					// skips it like any other load-dependent rejection.
 					source = sourceCoalesced
-					fail(http.StatusServiceUnavailable, "coalesce_timeout",
+					fail(http.StatusServiceUnavailable, api.CodeCoalesceTimeout,
 						fmt.Errorf("server: deadline expired waiting for coalesced computation: %w", derr))
 					return
 				}
@@ -639,7 +664,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 // on behalf of all its callers.
 func (s *Server) compute(ctx context.Context, ar *algRequest) *outcome {
 	o := &outcome{}
-	fail := func(st int, code string, err error) {
+	fail := func(st int, code api.ErrorCode, err error) {
 		o.status, o.out, o.errMsg = st, apiError(code, err), err.Error()
 	}
 
@@ -653,7 +678,7 @@ func (s *Server) compute(ctx context.Context, ar *algRequest) *outcome {
 		s.hookAdmitted()
 	}
 	if ctx.Err() != nil {
-		fail(http.StatusServiceUnavailable, "deadline_queued",
+		fail(http.StatusServiceUnavailable, api.CodeDeadlineQueued,
 			fmt.Errorf("server: deadline expired before execution: %w", ctx.Err()))
 		return o
 	}
@@ -759,7 +784,7 @@ func (s *Server) compute(ctx context.Context, ar *algRequest) *outcome {
 		return o
 	}
 	if ctx.Err() != nil {
-		fail(http.StatusGatewayTimeout, "deadline_exceeded",
+		fail(http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
 			fmt.Errorf("server: deadline expired during execution: %w", ctx.Err()))
 		return o
 	}

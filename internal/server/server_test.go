@@ -405,7 +405,7 @@ func TestErrorMapping(t *testing.T) {
 		algo   string
 		mut    func(*api.Request)
 		status int
-		code   string
+		code   api.ErrorCode
 	}{
 		{"unknown algorithm", "no-such-algorithm", nil, http.StatusNotFound, "unknown_algorithm"},
 		{"bad version", "steady-hull", func(r *api.Request) { r.V = 99 }, http.StatusBadRequest, "bad_version"},
@@ -433,7 +433,7 @@ func TestErrorMapping(t *testing.T) {
 				t.Fatalf("status = %d (%s), want %d", status, body, tc.status)
 			}
 			if e := decodeErr(t, body); e.Code != tc.code {
-				t.Errorf("code = %q, want %q (%s)", e.Code, tc.code, e.Err)
+				t.Errorf("code = %q, want %q (%s)", e.Code, tc.code, e.Message)
 			}
 		})
 	}

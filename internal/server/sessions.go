@@ -192,7 +192,7 @@ func (s *Server) sessionLog(ctx context.Context, endpoint, id string, status int
 // decodeSession decodes a session request body with the server's body
 // cap and version gate, returning the raw body bytes for the
 // computation log.
-func decodeSession(w http.ResponseWriter, r *http.Request, maxBody int64, v any, version func() int) ([]byte, int, string, error) {
+func decodeSession(w http.ResponseWriter, r *http.Request, maxBody int64, v any, version func() int) ([]byte, int, api.ErrorCode, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -201,13 +201,13 @@ func decodeSession(w http.ResponseWriter, r *http.Request, maxBody int64, v any,
 		if errors.As(err, &tooBig) {
 			st = http.StatusRequestEntityTooLarge
 		}
-		return raw, st, "bad_request", fmt.Errorf("server: decoding request: %w", err)
+		return raw, st, api.CodeBadRequest, fmt.Errorf("server: decoding request: %w", err)
 	}
 	if err := json.Unmarshal(raw, v); err != nil {
-		return raw, http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err)
+		return raw, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("server: decoding request: %w", err)
 	}
 	if got := version(); got != api.Version {
-		return raw, http.StatusBadRequest, "bad_version",
+		return raw, http.StatusBadRequest, api.CodeBadVersion,
 			fmt.Errorf("server: unsupported schema version %d (want %d)", got, api.Version)
 	}
 	return raw, 0, "", nil
@@ -234,7 +234,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.met.Observe("sessions.create", status, lat)
 		s.sessionLog(r.Context(), "create", sid, status, lat)
 	}()
-	fail := func(st int, code string, err error) {
+	fail := func(st int, code api.ErrorCode, err error) {
 		status, out = st, apiError(code, err)
 	}
 
@@ -247,7 +247,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	algo, err := session.ParseAlgo(req.Algorithm)
 	if err != nil {
-		fail(http.StatusBadRequest, "unknown_algorithm", err)
+		fail(http.StatusBadRequest, api.CodeUnknownAlgorithm, err)
 		return
 	}
 	topoName := req.Options.Topology
@@ -256,11 +256,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	tp, err := topo.Parse(topoName)
 	if err != nil {
-		fail(http.StatusBadRequest, "bad_topology", err)
+		fail(http.StatusBadRequest, api.CodeBadTopology, err)
 		return
 	}
 	if tp != topo.Hypercube && tp != topo.Mesh {
-		fail(http.StatusBadRequest, "bad_topology",
+		fail(http.StatusBadRequest, api.CodeBadTopology,
 			fmt.Errorf("server: sessions support mesh and hypercube machines, not %q", tp))
 		return
 	}
@@ -399,7 +399,7 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.sessionLog(r.Context(), "update", id, status, lat, slog.Int("deltas", nd))
 	}()
-	fail := func(st int, code string, err error) {
+	fail := func(st int, code api.ErrorCode, err error) {
 		status, out = st, apiError(code, err)
 	}
 
@@ -477,7 +477,7 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 		s.met.Observe("sessions.query", status, lat)
 		s.sessionLog(r.Context(), "query", id, status, lat, slog.Bool("verify", verify))
 	}()
-	fail := func(st int, code string, err error) {
+	fail := func(st int, code api.ErrorCode, err error) {
 		status, out = st, apiError(code, err)
 	}
 

@@ -255,7 +255,7 @@ func TestSessionErrors(t *testing.T) {
 		name   string
 		req    api.SessionCreateRequest
 		status int
-		code   string
+		code   api.ErrorCode
 	}{
 		{"unknown algorithm", mk(func(r *api.SessionCreateRequest) { r.Algorithm = "steady-hull" }),
 			http.StatusBadRequest, "unknown_algorithm"},

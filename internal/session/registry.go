@@ -76,6 +76,13 @@ type Registry struct {
 	// holding its pinned machine.
 	idCheck func(string) bool
 
+	// idSalt, when set, is embedded in every minted ID ("s-<salt>-…").
+	// Fleet workers set their member ID here so session IDs minted by
+	// different processes can never collide — each process's (salt,
+	// seq) pair is unique fleet-wide even though the seq counters are
+	// process-local.
+	idSalt string
+
 	mu        sync.Mutex
 	sessions  map[string]*Session
 	seq       uint64
@@ -85,6 +92,11 @@ type Registry struct {
 // SetIDCheck installs the ID predicate. Call before serving begins:
 // installation is not synchronized with concurrent Add.
 func (r *Registry) SetIDCheck(check func(string) bool) { r.idCheck = check }
+
+// SetIDPrefix salts minted session IDs with the given member ID. Call
+// before serving begins: installation is not synchronized with
+// concurrent Add.
+func (r *Registry) SetIDPrefix(member string) { r.idSalt = member }
 
 // NewRegistry builds a registry. max ≤ 0 means unbounded; ttl ≤ 0
 // disables idle eviction; release may be nil.
@@ -110,13 +122,17 @@ func (r *Registry) Add(eng *Engine, m *machine.M, topo string, workers int) (*Se
 		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, r.max)
 	}
 	r.seq++
+	salt := ""
+	if r.idSalt != "" {
+		salt = r.idSalt + "-"
+	}
 	var id string
 	for attempt := 0; ; attempt++ {
 		var rnd [4]byte
 		if _, err := rand.Read(rnd[:]); err != nil {
 			return nil, fmt.Errorf("session: id generation: %w", err)
 		}
-		id = fmt.Sprintf("s-%d-%s", r.seq, hex.EncodeToString(rnd[:]))
+		id = fmt.Sprintf("s-%s%d-%s", salt, r.seq, hex.EncodeToString(rnd[:]))
 		if r.idCheck == nil || r.idCheck(id) {
 			break
 		}

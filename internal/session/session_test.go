@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -303,5 +304,33 @@ func TestRegistryTTLSweep(t *testing.T) {
 	}
 	if released != 2 {
 		t.Fatalf("released = %d, want 2", released)
+	}
+}
+
+func TestRegistryIDPrefix(t *testing.T) {
+	r := NewRegistry(0, time.Hour, nil)
+	r.SetIDPrefix("m1")
+	s := addSession(t, r)
+	if !strings.HasPrefix(s.ID, "s-m1-") {
+		t.Fatalf("salted ID = %q, want s-m1-… prefix", s.ID)
+	}
+	// The salt composes with an ID predicate (the fleet worker installs
+	// both): re-minting keeps the salt while varying the suffix.
+	r2 := NewRegistry(0, time.Hour, nil)
+	r2.SetIDPrefix("m2")
+	calls := 0
+	r2.SetIDCheck(func(id string) bool {
+		calls++
+		if !strings.HasPrefix(id, "s-m2-") {
+			t.Fatalf("predicate saw unsalted ID %q", id)
+		}
+		return calls >= 3
+	})
+	s2 := addSession(t, r2)
+	if calls < 3 {
+		t.Fatalf("predicate called %d times, want ≥ 3", calls)
+	}
+	if !strings.HasPrefix(s2.ID, "s-m2-") {
+		t.Fatalf("salted ID = %q, want s-m2-… prefix", s2.ID)
 	}
 }

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNamedSingleMember(t *testing.T) {
+	r := NewNamed([]string{"only"}, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got := r.Lookup(key); got != "only" {
+			t.Fatalf("Lookup(%q) = %q on a 1-member ring", key, got)
+		}
+		if seq := r.Sequence(key); len(seq) != 1 || seq[0] != "only" {
+			t.Fatalf("Sequence(%q) = %v on a 1-member ring", key, seq)
+		}
+	}
+}
+
+func TestNamedOrderIndependent(t *testing.T) {
+	a := NewNamed([]string{"m0", "m1", "m2"}, 0)
+	b := NewNamed([]string{"m2", "m0", "m1"}, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("Lookup(%q) differs across member orderings: %q vs %q",
+				key, a.Lookup(key), b.Lookup(key))
+		}
+	}
+}
+
+func TestNamedCoverage(t *testing.T) {
+	ids := []string{"alpha", "beta", "gamma", "delta"}
+	r := NewNamed(ids, 0)
+	counts := make(map[string]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, id := range ids {
+		got := counts[id]
+		// With 64 virtual points per member the split is within a few
+		// tens of percent of even; the test guards against a member
+		// getting starved or hogging, not against statistical noise.
+		if got < keys/len(ids)/3 || got > keys*3/len(ids) {
+			t.Errorf("member %s owns %d of %d keys — badly uneven", id, got, keys)
+		}
+	}
+}
+
+func TestNamedSequence(t *testing.T) {
+	ids := []string{"m0", "m1", "m2", "m3"}
+	r := NewNamed(ids, 0)
+	secondChoice := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != len(ids) {
+			t.Fatalf("Sequence(%q) has %d members, want %d", key, len(seq), len(ids))
+		}
+		if seq[0] != r.Lookup(key) {
+			t.Fatalf("Sequence(%q)[0] = %q, Lookup = %q", key, seq[0], r.Lookup(key))
+		}
+		seen := make(map[string]bool)
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("Sequence(%q) repeats %q: %v", key, id, seq)
+			}
+			seen[id] = true
+		}
+		secondChoice[seq[1]]++
+	}
+	// Failover spreads: the second choice must not be a single member
+	// for every key (that would pile a downed member's whole load onto
+	// one neighbor).
+	if len(secondChoice) < 2 {
+		t.Errorf("all keys share one failover target: %v", secondChoice)
+	}
+}
+
+func TestNamedMinimalReassignment(t *testing.T) {
+	small := NewNamed([]string{"m0", "m1", "m2"}, 0)
+	big := NewNamed([]string{"m0", "m1", "m2", "m3"}, 0)
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		a, b := small.Lookup(key), big.Lookup(key)
+		if a != b {
+			if b != "m3" {
+				t.Fatalf("Lookup(%q) moved %q→%q, not onto the new member", key, a, b)
+			}
+			moved++
+		}
+	}
+	// Adding one member to three should move roughly a quarter of keys.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("%d of %d keys moved when adding a 4th member — expected ~1/4", moved, keys)
+	}
+}
+
+func TestNamedBadInput(t *testing.T) {
+	for name, ids := range map[string][]string{
+		"empty":     nil,
+		"blank":     {"m0", ""},
+		"duplicate": {"m0", "m1", "m0"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewNamed(%v) did not panic", ids)
+				}
+			}()
+			NewNamed(ids, 0)
+		})
+	}
+}
